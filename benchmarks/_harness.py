@@ -1,0 +1,58 @@
+"""Shared machinery for the figure-regeneration benchmarks.
+
+Each ``bench_figNN_*.py`` calls :func:`run_and_report`, which
+
+1. runs the figure's experiment once inside ``benchmark.pedantic``
+   (so ``pytest benchmarks/ --benchmark-only`` reports the wall time of
+   a full regeneration), and
+2. prints the figure's series — the same rows the paper plots — in
+   every normalization the paper uses, plus an ASCII rendering.
+
+Repetitions default to 5 (the paper uses 50); set ``REPRO_BENCH_REPS``
+to change.  Set ``REPRO_BENCH_CSV_DIR`` to also dump each series as
+CSV.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+from repro.experiments import build_figure, run_experiment
+from repro.experiments.figures import FIGURE_NORMALIZATIONS
+from repro.experiments.tables import render_result
+from repro.viz import plot_result
+
+BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "5"))
+CSV_DIR = os.environ.get("REPRO_BENCH_CSV_DIR")
+
+
+def run_and_report(figure_id: str, benchmark, *, reps: int | None = None, **build_kwargs):
+    """Regenerate *figure_id* under the benchmark timer and print it."""
+    reps = BENCH_REPS if reps is None else reps
+    exp = build_figure(figure_id, reps=reps, **build_kwargs)
+
+    result_box = {}
+
+    def regenerate():
+        result_box["result"] = run_experiment(exp)
+
+    benchmark.pedantic(regenerate, iterations=1, rounds=1)
+    result = result_box["result"]
+
+    for norm in FIGURE_NORMALIZATIONS[figure_id]:
+        print()
+        print(render_result(result, normalize_by=norm))
+        try:
+            logx = "Applications" in result.xlabel and result.x.min() > 0
+            print(plot_result(result, normalize_by=norm, logx=logx, height=14))
+        except Exception:
+            pass  # plotting is best-effort; the table is the record
+    if CSV_DIR:
+        out = Path(CSV_DIR)
+        out.mkdir(parents=True, exist_ok=True)
+        result.to_csv(out / f"{figure_id}.csv",
+                      normalize_by=FIGURE_NORMALIZATIONS[figure_id][0])
+        print(f"[csv] wrote {out / (figure_id + '.csv')}", file=sys.stderr)
+    return result

@@ -1,0 +1,35 @@
+"""Ablation: equal-finish solver - Brent's method vs paper's bisection.
+
+Both must agree to high precision; Brent needs fewer iterations.  The
+two benchmark entries time a full 64-application allocation each way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.processor_allocation import equal_finish_makespan
+from repro.machine import taihulight
+from repro.workloads import npb_synth
+
+
+@pytest.fixture(scope="module")
+def instance():
+    pf = taihulight()
+    wl = npb_synth(64, np.random.default_rng(0))
+    x = np.zeros(64)
+    return wl, pf, x
+
+
+def test_solver_brentq(benchmark, instance):
+    wl, pf, x = instance
+    k = benchmark(lambda: equal_finish_makespan(wl, pf, x, method="brentq"))
+    assert k > 0
+
+
+def test_solver_bisect(benchmark, instance):
+    wl, pf, x = instance
+    k = benchmark(lambda: equal_finish_makespan(wl, pf, x, method="bisect"))
+    assert k > 0
+    # both solvers find the same root
+    kb = equal_finish_makespan(wl, pf, x, method="brentq")
+    assert abs(kb - k) / kb < 1e-8

@@ -1,0 +1,44 @@
+"""Ablation: choice-function pairing under cache pressure.
+
+DESIGN.md calls out the Dominant/MinRatio vs DominantRev/MaxRatio
+pairing intuition; this bench quantifies it on a small LLC with high
+miss rates, where the greedy order actually matters (on the paper's
+32 GB platform all six variants tie).
+"""
+
+import numpy as np
+
+from repro.experiments import Experiment, run_experiment
+from repro.experiments.tables import render_result
+from repro.core.registry import PAPER_HEURISTICS
+from repro.machine.presets import small_llc
+from repro.workloads.synthetic import npb_synth
+from _harness import BENCH_REPS
+
+
+def _factory(point, rng):
+    return npb_synth(int(point), rng).with_miss_rate(0.7), small_llc()
+
+
+def test_ablation_choice(benchmark):
+    exp = Experiment(
+        experiment_id="ablation-choice",
+        title="Choice-function pairing under cache pressure (m0=0.7, 1GB LLC)",
+        xlabel="#Applications",
+        points=np.array([8.0, 16.0, 32.0, 64.0]),
+        factory=_factory,
+        schedulers=PAPER_HEURISTICS,
+        reps=max(BENCH_REPS, 8),
+        seed=11,
+    )
+    box = {}
+    benchmark.pedantic(lambda: box.update(r=run_experiment(exp)),
+                       iterations=1, rounds=1)
+    result = box["r"]
+    print()
+    print(render_result(result, normalize_by="dominant-minratio"))
+    norm = result.normalized(by="dominant-minratio")
+    # the well-paired variants never lose to the ill-paired ones on average
+    good = (norm["dominant-minratio"].mean() + norm["dominantrev-maxratio"].mean()) / 2
+    bad = (norm["dominant-maxratio"].mean() + norm["dominantrev-minratio"].mean()) / 2
+    assert bad >= good * 0.999

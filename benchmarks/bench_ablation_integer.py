@@ -1,0 +1,47 @@
+"""Ablation: cost of integer processor allocations.
+
+Quantifies the paper's rationale for rational processors: with works
+spanning 1e8-1e12 (NPB-SYNTH), whole-processor rounding is brutal;
+with homogeneous works it is nearly free.
+"""
+
+import numpy as np
+
+from repro.core import dominant_schedule
+from repro.experiments.tables import format_table
+from repro.extensions import rounding_penalty
+from repro.machine import taihulight
+from repro.workloads import npb_synth
+
+
+def test_ablation_integer(benchmark):
+    pf = taihulight()
+    box = {}
+
+    def run():
+        rows = []
+        for label, work_range, log_work in [
+            ("log-uniform 1e8-1e12", (1e8, 1e12), True),
+            ("homogeneous ~1e10", (1e10, 1.05e10), False),
+        ]:
+            pens = {"floor": [], "largest-remainder": [], "critical-path": []}
+            for seed in range(8):
+                wl = npb_synth(16, np.random.default_rng(seed),
+                               work_range=work_range, log_work=log_work)
+                sched = dominant_schedule(wl, pf, strategy="dominant",
+                                          choice="minratio")
+                for strat in pens:
+                    pens[strat].append(rounding_penalty(sched, strategy=strat))
+            rows.append([label] + [float(np.mean(pens[s])) for s in
+                                   ("floor", "largest-remainder", "critical-path")])
+        box["rows"] = rows
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Mean makespan penalty of integer processors (16 apps, p=256)")
+    print(format_table(["workload", "floor", "largest-rem", "critical-path"],
+                       box["rows"]))
+    hetero, homo = box["rows"]
+    assert homo[3] < 0.05          # homogeneous: rounding nearly free
+    assert hetero[3] > homo[3]     # heterogeneity is what hurts
+    assert hetero[3] <= hetero[1] + 1e-12  # critical-path no worse than floor

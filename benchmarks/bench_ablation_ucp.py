@@ -1,0 +1,41 @@
+"""Ablation: UCP discrete ways vs continuous Theorem-3 fractions.
+
+Implements the paper's cited comparator (Qureshi & Patt's UCP) over
+the analytic cost curves and prices the hardware-granularity gap:
+CAT-scale way counts (11-20) are essentially free; very coarse
+partitions are not.
+"""
+
+import numpy as np
+
+from repro.experiments.tables import format_table
+from repro.extensions import granularity_penalty
+from repro.machine import small_llc, taihulight
+from repro.workloads import npb_synth
+
+
+def test_ablation_ucp(benchmark):
+    box = {}
+
+    def run():
+        rows = []
+        for label, pf, miss in [("taihulight", taihulight(), None),
+                                ("1GB LLC, m0=0.5", small_llc(), 0.5)]:
+            for ways in (4, 8, 20, 64):
+                pens = []
+                for seed in range(5):
+                    wl = npb_synth(16, np.random.default_rng(seed))
+                    if miss is not None:
+                        wl = wl.with_miss_rate(miss)
+                    pens.append(granularity_penalty(wl, pf, total_ways=ways))
+                rows.append([f"{label} W={ways}", float(np.mean(pens)),
+                             float(np.max(pens))])
+        box["rows"] = rows
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Way-granularity penalty vs continuous fractions (16 apps)")
+    print(format_table(["setting", "mean", "max"], box["rows"]))
+    by_name = {r[0]: r for r in box["rows"]}
+    assert by_name["taihulight W=20"][1] < 0.02   # CAT-scale: free
+    assert by_name["taihulight W=4"][1] > by_name["taihulight W=20"][1]

@@ -1,0 +1,54 @@
+"""Cache-simulator throughput and fit-quality benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import (
+    LRUCache,
+    fit_power_law,
+    measure_miss_curve,
+    stack_distances,
+    zipf_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return zipf_stream(50_000, 50_000, np.random.default_rng(0), skew=1.2)
+
+
+def test_lru_direct_throughput(benchmark, trace):
+    def run():
+        c = LRUCache(64, 8)
+        c.run(trace)
+        return c.misses
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_stack_algorithm_throughput(benchmark, trace):
+    d = benchmark(lambda: stack_distances(trace))
+    assert np.isfinite(d).any()
+
+
+def test_fit_quality_vs_trace_length(benchmark):
+    """Longer traces tighten the power-law fit (reported, not timed)."""
+    rng = np.random.default_rng(3)
+    box = {}
+
+    def run():
+        r2 = []
+        for length in (20_000, 80_000, 200_000):
+            t = zipf_stream(300_000, length, rng, skew=1.05)
+            curve = measure_miss_curve(t, np.geomspace(16 * 1024, 8e6, 10),
+                                       exclude_cold=True)
+            fit = fit_power_law(curve.cache_bytes, curve.miss_rates, c0=40e6)
+            r2.append(fit.r2)
+        box["r2"] = r2
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("power-law fit r2 at trace lengths 20k/80k/200k:",
+          [f"{v:.3f}" for v in box["r2"]])
+    assert box["r2"][-1] > 0.8

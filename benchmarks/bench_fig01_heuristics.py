@@ -1,0 +1,16 @@
+"""Fig. 1: the six dominant-partition heuristics vs AllProcCache.
+
+Paper shape: all six variants overlap, ~85% below AllProcCache once
+n >= 50 applications (NPB-SYNTH, p = 256).
+"""
+
+from _harness import run_and_report
+
+
+def test_fig01_heuristics(benchmark):
+    result = run_and_report("fig1", benchmark)
+    norm = result.normalized(by="allproccache")
+    large_n = result.x >= 50
+    for name in result.schedulers:
+        if name != "allproccache":
+            assert norm[name][large_n].max() < 0.3, name

@@ -1,0 +1,17 @@
+"""Fig. 2: impact of the cache miss rate with a 1 GB LLC.
+
+Paper shape: the six heuristics separate only above miss rate ~0.1;
+Dominant+MinRatio and DominantRev+MaxRatio overlap as the best pair,
+Dominant+MaxRatio and DominantRev+MinRatio as the worst.
+"""
+
+from _harness import run_and_report
+
+
+def test_fig02_missrate(benchmark):
+    result = run_and_report("fig2", benchmark)
+    norm = result.normalized(by="dominant-minratio")
+    high = result.x >= 0.5
+    # the "bad pairing" curves sit at or above the good ones
+    assert norm["dominant-maxratio"][high].mean() >= 0.999
+    assert norm["dominantrev-minratio"][high].mean() >= 0.999

@@ -1,0 +1,16 @@
+"""Fig. 3: impact of the number of applications (NPB-SYNTH, p = 256).
+
+Paper shape: DominantMinRatio best throughout; Fair competitive only
+at small n; 0cache and RandomPart in between and stable.
+"""
+
+from _harness import run_and_report
+
+
+def test_fig03_napps(benchmark):
+    result = run_and_report("fig3", benchmark)
+    norm = result.normalized(by="dominant-minratio")
+    big = result.x >= 64
+    for name in ("randompart", "fair", "0cache"):
+        assert norm[name][big].min() >= 0.999, name
+    assert norm["fair"][big].mean() > norm["0cache"][big].mean()

@@ -1,0 +1,16 @@
+"""Fig. 4: impact of the average number of processors per application.
+
+Paper shape: with many processors per application Fair improves
+(everyone fits in cache); with few, 0cache beats Fair.
+"""
+
+from _harness import run_and_report
+
+
+def test_fig04_proc_ratio(benchmark):
+    result = run_and_report("fig4", benchmark)
+    norm = result.normalized(by="dominant-minratio")
+    # Fair improves as the ratio grows
+    assert norm["fair"][-1] < norm["fair"][0]
+    # at low ratios (many apps), 0cache beats Fair
+    assert norm["0cache"][0] < norm["fair"][0]

@@ -1,0 +1,15 @@
+"""Fig. 5: impact of the number of processors (16 applications).
+
+Paper shape: co-scheduling gain grows with p; DominantMinRatio beats
+0cache by > 20% (the pure cache-allocation effect) at p = 256.
+"""
+
+from _harness import run_and_report
+
+
+def test_fig05_nprocs(benchmark):
+    result = run_and_report("fig5", benchmark)
+    norm = result.normalized(by="dominant-minratio")
+    assert norm["0cache"][-1] > 1.2
+    apc = result.normalized(by="allproccache")["dominant-minratio"]
+    assert apc[-1] < apc[0]  # gain grows with p

@@ -1,0 +1,17 @@
+"""Fig. 6: impact of the sequential fraction of work (16 apps, p=256).
+
+Paper shape: all co-scheduling heuristics beat AllProcCache once s > 0,
+with > 50% gain already at s = 0.01; Fair closes on DominantMinRatio
+as s grows.
+"""
+
+from _harness import run_and_report
+
+
+def test_fig06_seqfrac(benchmark):
+    result = run_and_report("fig6", benchmark)
+    apc = result.normalized(by="allproccache")
+    s001 = abs(result.x - 0.01).argmin()
+    assert apc["dominant-minratio"][s001] < 0.55
+    fair = result.normalized(by="dominant-minratio")["fair"]
+    assert fair[-1] < fair[1]

@@ -1,0 +1,31 @@
+"""Fig. 7: processor and cache repartition (min/avg/max per app).
+
+Paper shape: the min-max band shrinks as n grows; Fair's band is a
+single line (identical allocations); 0cache's processor split tracks
+DominantMinRatio's.
+"""
+
+import numpy as np
+
+from _harness import run_and_report
+from repro.experiments.tables import format_table
+
+
+def test_fig07_repartition(benchmark):
+    result = run_and_report("fig7", benchmark)
+    header = ["#apps"]
+    rows = [[float(x)] for x in result.x]
+    for sched in ("dominant-minratio", "fair", "0cache"):
+        for metric in ("proc_min", "proc_mean", "proc_max"):
+            header.append(f"{sched}.{metric}")
+            for i, row in enumerate(rows):
+                row.append(float(result.mean(sched, metric)[i]))
+    print()
+    print("Fig. 7 processor repartition detail")
+    print(format_table(header, rows))
+
+    spread = (result.mean("dominant-minratio", "proc_max")
+              - result.mean("dominant-minratio", "proc_min"))
+    assert spread[-1] < spread[np.argmax(spread)]
+    assert np.allclose(result.mean("fair", "proc_min"),
+                       result.mean("fair", "proc_max"))

@@ -1,0 +1,14 @@
+"""Fig. 8 (Appendix A.1): number of applications with the RANDOM set.
+
+Paper shape: same story as Fig. 3 - dominant partitions win.
+"""
+
+from _harness import run_and_report
+
+
+def test_fig08_napps_random(benchmark):
+    result = run_and_report("fig8", benchmark)
+    norm = result.normalized(by="dominant-minratio")
+    big = result.x >= 64
+    for name in ("randompart", "fair", "0cache"):
+        assert norm[name][big].min() >= 0.999, name

@@ -1,0 +1,13 @@
+"""Fig. 9 (A.2): number of processors, NPB-SYNTH with 64 applications.
+
+Paper shape: with many applications Fair becomes the worst heuristic,
+even below 0cache.
+"""
+
+from _harness import run_and_report
+
+
+def test_fig09_nprocs64(benchmark):
+    result = run_and_report("fig9", benchmark)
+    norm = result.normalized(by="dominant-minratio")
+    assert norm["fair"].mean() > norm["0cache"].mean()

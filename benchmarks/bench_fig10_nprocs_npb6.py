@@ -1,0 +1,13 @@
+"""Fig. 10 (A.2): number of processors with NPB-6 (6 applications).
+
+Paper shape: with few applications Fair beats 0cache once p > ~50.
+"""
+
+from _harness import run_and_report
+
+
+def test_fig10_nprocs_npb6(benchmark):
+    result = run_and_report("fig10", benchmark)
+    norm = result.normalized(by="dominant-minratio")
+    large_p = result.x >= 64
+    assert norm["fair"][large_p].mean() < norm["0cache"][large_p].mean()

@@ -1,0 +1,10 @@
+"""Fig. 11 (A.2): number of processors, RANDOM with 16 applications."""
+
+from _harness import run_and_report
+
+
+def test_fig11_nprocs_random16(benchmark):
+    result = run_and_report("fig11", benchmark)
+    norm = result.normalized(by="dominant-minratio")
+    for name in ("randompart", "fair", "0cache"):
+        assert norm[name].min() >= 0.999, name

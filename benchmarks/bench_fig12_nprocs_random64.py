@@ -1,0 +1,15 @@
+"""Fig. 12 (A.2): number of processors, RANDOM with 64 applications.
+
+Paper shape: relative performance is stable in p; DominantMinRatio
+stays best.
+"""
+
+from _harness import run_and_report
+
+
+def test_fig12_nprocs_random64(benchmark):
+    result = run_and_report("fig12", benchmark)
+    norm = result.normalized(by="dominant-minratio")
+    for name in ("randompart", "0cache"):
+        series = norm[name]
+        assert series.max() / series.min() < 1.5, name  # stable in p

@@ -1,0 +1,13 @@
+"""Fig. 13 (A.3): sequential fraction with NPB-6.
+
+Paper shape: Fair's relative performance improves as s grows (cache
+allocation matters more, processor allocation less).
+"""
+
+from _harness import run_and_report
+
+
+def test_fig13_seqfrac_npb6(benchmark):
+    result = run_and_report("fig13", benchmark)
+    fair = result.normalized(by="dominant-minratio")["fair"]
+    assert fair[-1] < fair[1]

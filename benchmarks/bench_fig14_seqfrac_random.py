@@ -1,0 +1,9 @@
+"""Fig. 14 (A.3): sequential fraction with RANDOM (16 apps)."""
+
+from _harness import run_and_report
+
+
+def test_fig14_seqfrac_random(benchmark):
+    result = run_and_report("fig14", benchmark)
+    apc = result.normalized(by="allproccache")["dominant-minratio"]
+    assert apc[-1] < 0.6  # strong co-scheduling gain at s = 0.15

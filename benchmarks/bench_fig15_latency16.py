@@ -1,0 +1,15 @@
+"""Fig. 15 (A.4): cache latency ls sweep, 16 apps, s = 1e-4.
+
+Paper shape: ls has no impact on *relative* performance.
+"""
+
+from _harness import run_and_report
+
+
+def test_fig15_latency16(benchmark):
+    result = run_and_report("fig15", benchmark)
+    norm = result.normalized(by="allproccache")
+    for name in result.schedulers:
+        series = norm[name]
+        # flat in ls: residual variation is sampling noise, not trend
+        assert series.max() / series.min() < 1.35, name

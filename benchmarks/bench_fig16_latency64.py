@@ -1,0 +1,12 @@
+"""Fig. 16 (A.4): cache latency ls sweep, 64 apps, s = 1e-4."""
+
+from _harness import run_and_report
+
+
+def test_fig16_latency64(benchmark):
+    result = run_and_report("fig16", benchmark)
+    norm = result.normalized(by="allproccache")
+    for name in result.schedulers:
+        series = norm[name]
+        # flat in ls: residual variation is sampling noise, not trend
+        assert series.max() / series.min() < 1.35, name

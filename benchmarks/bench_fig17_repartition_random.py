@@ -1,0 +1,19 @@
+"""Fig. 17 (A.5): processor and cache repartition with RANDOM.
+
+Paper shape: like Fig. 7, but Fair's *cache* allocation is more
+heterogeneous (random access frequencies).
+"""
+
+import numpy as np
+
+from _harness import run_and_report
+
+
+def test_fig17_repartition_random(benchmark):
+    result = run_and_report("fig17", benchmark)
+    spread = (result.mean("dominant-minratio", "proc_max")
+              - result.mean("dominant-minratio", "proc_min"))
+    assert spread[-1] < spread.max()
+    cache_spread = (result.mean("fair", "cache_max")
+                    - result.mean("fair", "cache_min"))
+    assert np.any(cache_spread > 0)  # heterogeneous Fair cache shares

@@ -1,0 +1,13 @@
+"""Fig. 18 (A.6): miss-rate sweep with all nine heuristics, 1 GB LLC.
+
+Paper shape: as the miss rate grows, 0cache and RandomPart close in on
+the dominant heuristics (cache stops mattering).
+"""
+
+from _harness import run_and_report
+
+
+def test_fig18_missrate_all(benchmark):
+    result = run_and_report("fig18", benchmark)
+    norm = result.normalized(by="dominant-minratio")
+    assert norm["0cache"][-1] < norm["0cache"][0]  # closes the gap

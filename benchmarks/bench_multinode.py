@@ -1,0 +1,64 @@
+"""Extension bench: multi-node clusters of cache-partitioned nodes.
+
+Compares assignment strategies (round-robin, LPT on a no-cache load
+proxy, LPT refined with real cache-aware pricing) across cluster
+sizes, and measures the refined heuristic's gap to the exhaustive
+optimum on small instances.
+"""
+
+import numpy as np
+
+from repro.experiments.tables import format_table
+from repro.machine import taihulight
+from repro.multinode import (
+    exhaustive_assignment,
+    lpt_assignment,
+    lpt_refined_assignment,
+    round_robin_assignment,
+    schedule_cluster,
+)
+from repro.workloads import npb_synth
+
+
+def test_multinode(benchmark):
+    pf = taihulight(p=64.0)
+    box = {}
+
+    def run():
+        rows = []
+        for nodes in (2, 4, 8):
+            sums = {"round-robin": 0.0, "lpt": 0.0, "lpt-refined": 0.0}
+            reps = 5
+            for seed in range(reps):
+                wl = npb_synth(32, np.random.default_rng(seed))
+                base = schedule_cluster(
+                    wl, pf, lpt_refined_assignment(wl, pf, nodes)
+                ).makespan()
+                sums["lpt-refined"] += 1.0
+                sums["lpt"] += schedule_cluster(
+                    wl, pf, lpt_assignment(wl, pf, nodes)).makespan() / base
+                sums["round-robin"] += schedule_cluster(
+                    wl, pf, round_robin_assignment(wl, pf, nodes)).makespan() / base
+            rows.append([float(nodes)] + [sums[k] / reps for k in
+                                          ("lpt-refined", "lpt", "round-robin")])
+        # optimality gap on small instances
+        gaps = []
+        for seed in range(5):
+            wl = npb_synth(8, np.random.default_rng(seed))
+            _, best = exhaustive_assignment(wl, pf, 2)
+            ref = schedule_cluster(
+                wl, pf, lpt_refined_assignment(wl, pf, 2)).makespan()
+            gaps.append(ref / best - 1)
+        box["rows"] = rows
+        box["gap"] = float(np.mean(gaps)), float(np.max(gaps))
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Cluster makespan normalized by LPT-refined (32 apps, p=64/node)")
+    print(format_table(["nodes", "lpt-refined", "lpt", "round-robin"], box["rows"]))
+    print(f"\nLPT-refined vs exhaustive optimum (8 apps, 2 nodes): "
+          f"mean gap {box['gap'][0]:.4f}, max gap {box['gap'][1]:.4f}")
+    for row in box["rows"]:
+        assert row[2] >= 1.0 - 1e-9   # lpt never beats refined
+        assert row[3] >= row[2] - 0.05  # round-robin is no better than lpt
+    assert box["gap"][1] < 0.1

@@ -1,0 +1,57 @@
+"""Ablation: how much model accuracy matters (Section 7's question).
+
+Regret of scheduling with a misestimated power-law alpha or biased
+miss rates, on the paper's platform (robust: huge LLC, tiny rates)
+and under cache pressure (where accuracy pays).
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    alpha_misestimation_regret,
+    missrate_misestimation_regret,
+)
+from repro.experiments.tables import format_table
+from repro.machine import small_llc, taihulight
+from repro.workloads import npb_synth
+
+
+def test_sensitivity(benchmark):
+    box = {}
+
+    def run():
+        settings = [("taihulight", taihulight(), None),
+                    ("1GB LLC, m0=0.3", small_llc(), 0.3)]
+        alpha_rows, bias_rows = [], []
+        for label, pf, miss in settings:
+            a_vals, b_vals = [], []
+            for seed in range(5):
+                wl = npb_synth(12, np.random.default_rng(seed))
+                if miss is not None:
+                    wl = wl.with_miss_rate(miss)
+                a_vals.append([
+                    alpha_misestimation_regret(wl, pf, alpha_true=0.5,
+                                               alpha_assumed=a)
+                    for a in (0.3, 0.7)
+                ])
+                b_vals.append([
+                    missrate_misestimation_regret(wl, pf, bias=b)
+                    for b in (0.25, 4.0)
+                ])
+            a_mean = np.mean(a_vals, axis=0)
+            b_mean = np.mean(b_vals, axis=0)
+            alpha_rows.append([label, float(a_mean[0]), float(a_mean[1])])
+            bias_rows.append([label, float(b_mean[0]), float(b_mean[1])])
+        box["alpha"] = alpha_rows
+        box["bias"] = bias_rows
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Regret of alpha misestimation (true alpha = 0.5)")
+    print(format_table(["setting", "assumed 0.3", "assumed 0.7"], box["alpha"]))
+    print()
+    print("Regret of miss-rate bias")
+    print(format_table(["setting", "bias 0.25x", "bias 4x"], box["bias"]))
+    # the paper's platform is robust; pressure makes accuracy matter
+    assert box["alpha"][0][1] < 0.02
+    assert box["alpha"][1][1] >= box["alpha"][0][1] - 1e-9

@@ -1,0 +1,35 @@
+"""Table 2: regenerate the NPB parameters via trace-driven profiling.
+
+The substitute for PEBIL instrumentation: synthetic Zipf traces ->
+stack-distance miss curves -> power-law fit -> (w, f, m_40MB).
+Absolute values need not match the measurements (the traces are
+synthetic); the regime should - small miss rates at 40 MB, positive
+power-law sensitivity.
+"""
+
+from repro.experiments import regenerate_table2
+from repro.experiments.tables import format_table
+
+
+def test_tab02_npb_profile(benchmark):
+    box = {}
+
+    def run():
+        box["rows"] = regenerate_table2()
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = box["rows"]
+    table = [
+        [b.name, b.paper_work, b.paper_freq, b.paper_miss,
+         b.app.miss_rate, b.fit_alpha, b.fit_r2]
+        for b in rows
+    ]
+    print()
+    print("Table 2: paper vs trace-driven simulation")
+    print(format_table(
+        ["app", "paper w", "paper f", "paper m40MB", "sim m40MB",
+         "fit alpha", "fit r2"], table,
+    ))
+    for b in rows:
+        assert 0.0 < b.app.miss_rate < 0.1, b.name
+        assert b.fit_alpha > 0.0, b.name

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Scale-out: co-scheduling across a cluster of cache-partitioned nodes.
+
+The paper schedules one node; a site operator has several.  This
+example partitions a 48-application campaign across 1-8 TaihuLight-like
+nodes and compares assignment strategies:
+
+* round-robin (what a naive dispatcher does),
+* LPT on a no-cache load estimate (classic makespan heuristic),
+* LPT refined with the real cache-aware node scheduler - applications
+  that would fight over a node's LLC get separated.
+
+It then answers the operator's question directly: how many nodes does
+this campaign need to finish within a deadline?
+
+Run:  python examples/cluster_scaleout.py
+"""
+
+import numpy as np
+
+from repro.machine import taihulight
+from repro.multinode import (
+    lpt_assignment,
+    lpt_refined_assignment,
+    round_robin_assignment,
+    schedule_cluster,
+)
+from repro.workloads import npb_synth
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    platform = taihulight(p=64.0)   # one analysis node: 64 procs, 32 GB LLC
+    workload = npb_synth(48, rng)
+
+    print(f"campaign: {workload.n} applications; "
+          f"node = {platform.p:g} procs + {platform.cache_size / 1e9:g} GB LLC\n")
+
+    print(f"{'nodes':>6}{'round-robin':>16}{'LPT':>16}{'LPT-refined':>16}"
+          f"{'imbalance':>12}")
+    spans = {}
+    for nodes in (1, 2, 4, 8):
+        rr = schedule_cluster(
+            workload, platform, round_robin_assignment(workload, platform, nodes))
+        lpt = schedule_cluster(
+            workload, platform, lpt_assignment(workload, platform, nodes))
+        ref = schedule_cluster(
+            workload, platform, lpt_refined_assignment(workload, platform, nodes))
+        spans[nodes] = ref.makespan()
+        print(f"{nodes:>6}{rr.makespan():>16.4e}{lpt.makespan():>16.4e}"
+              f"{ref.makespan():>16.4e}{ref.imbalance():>12.3f}")
+
+    print("\nscaling efficiency of LPT-refined (vs 1 node):")
+    for nodes in (2, 4, 8):
+        speedup = spans[1] / spans[nodes]
+        print(f"  {nodes} nodes: speedup {speedup:.2f}x "
+              f"(efficiency {speedup / nodes:.0%})")
+
+    deadline = 0.4 * spans[1]
+    print(f"\ndeadline provisioning: finish within {deadline:.3e} time units")
+    for nodes in (1, 2, 4, 8):
+        status = "meets" if spans.get(nodes, np.inf) <= deadline else "misses"
+        print(f"  {nodes} node(s): {status} the deadline")
+    needed = min((n for n in spans if spans[n] <= deadline), default=None)
+    if needed is not None:
+        print(f"-> provision {needed} node(s).")
+
+    print("\nfinal placement with the chosen cluster:")
+    ref = schedule_cluster(
+        workload, platform,
+        lpt_refined_assignment(workload, platform, needed or 8),
+    )
+    print(ref.describe())
+
+
+if __name__ == "__main__":
+    main()

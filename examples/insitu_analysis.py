@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""In-situ analysis pipeline: the paper's motivating scenario.
+
+A cosmology simulation (HACC-style, Section 1) produces a data batch
+every period; a dedicated analysis node must run a set of independent
+analysis kernels over each batch *before the next one arrives*.  The
+question a pipeline operator asks is: **what is the shortest period
+(highest ingest rate) each co-scheduling strategy can sustain?**
+
+The answer is the strategy's makespan: all kernels start when a batch
+lands and must finish within the period.  The experiment shows how
+dominant-partition cache allocation raises the sustainable rate over
+naive cache sharing.
+
+Run:  python examples/insitu_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import Application, Workload, get_scheduler
+from repro.machine import taihulight
+from repro.simulate import simulate_schedule
+
+
+#: Analysis kernels of a cosmology pipeline: halo finding, power
+#: spectra, light-cone extraction, etc.  Work in operations per batch;
+#: access frequencies and 40 MB miss rates in NPB-measured ranges.
+KERNELS = [
+    ("halo-finder",     4.0e11, 0.04, 0.70, 4.1e-3),
+    ("power-spectrum",  1.6e11, 0.02, 0.58, 1.6e-2),
+    ("lightcone",       0.9e11, 0.08, 0.81, 7.9e-3),
+    ("halo-profiles",   2.2e11, 0.03, 0.75, 2.3e-3),
+    ("void-finder",     0.6e11, 0.06, 0.52, 2.1e-2),
+    ("merger-trees",    1.1e11, 0.05, 0.66, 9.4e-3),
+    ("sub-sampling",    0.3e11, 0.01, 0.49, 2.6e-2),
+    ("compression",     0.8e11, 0.02, 0.61, 1.2e-2),
+]
+
+
+def build_workload() -> Workload:
+    return Workload(
+        Application(name=name, work=w, seq_fraction=s, access_freq=f,
+                    miss_rate=m)
+        for name, w, s, f, m in KERNELS
+    )
+
+
+def main() -> None:
+    platform = taihulight()  # the dedicated analysis node
+    workload = build_workload()
+
+    print("In-situ analysis: sustainable ingest period per strategy")
+    print(f"({len(workload)} kernels on p={platform.p:g} processors, "
+          f"{platform.cache_size / 1e9:g} GB LLC)\n")
+
+    print(f"{'strategy':<20}{'min period':>14}{'batches/day*':>14}")
+    spans = {}
+    for name in ("allproccache", "fair", "0cache", "dominant-minratio"):
+        schedule = get_scheduler(name)(workload, platform, np.random.default_rng(0))
+        spans[name] = schedule.makespan()
+        # Treat model time units as nanoseconds for a concrete rate.
+        per_day = 86400e9 / spans[name]
+        print(f"{name:<20}{spans[name]:>14.4e}{per_day:>14.1f}")
+    print("(*) taking one model time unit = 1 ns\n")
+
+    gain = 1 - spans["dominant-minratio"] / spans["fair"]
+    print(f"dominant-partition co-scheduling sustains "
+          f"{1 / (1 - gain):.2f}x the ingest rate of Fair sharing "
+          f"({gain:.0%} shorter period).\n")
+
+    # Verify the deadline property in the event simulator: with the
+    # period set to the makespan, every kernel finishes in time.
+    best = get_scheduler("dominant-minratio")(workload, platform, None)
+    result = simulate_schedule(best)
+    period = best.makespan()
+    print("deadline check (period = makespan of dominant-minratio):")
+    for name, finish in zip(workload.names, result.finish_times):
+        status = "ok" if finish <= period * (1 + 1e-9) else "LATE"
+        print(f"  {name:<16} finishes at {finish / period:6.1%} of the period  [{status}]")
+
+
+if __name__ == "__main__":
+    main()

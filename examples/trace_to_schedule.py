@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""End-to-end pipeline: memory traces -> profiles -> co-schedule.
+
+The paper derived its application parameters (Table 2) by instrumenting
+binaries with PEBIL.  This example runs the library's substitute
+pipeline on synthetic kernels sharing an edge node with a small (2 MB)
+partitionable LLC:
+
+1. generate cache-line traces with different locality (Zipf-skewed
+   kernels plus a strided streaming polluter);
+2. measure steady-state miss-rate curves with the stack-distance LRU
+   simulator and fit the power law of cache misses (Eq. 1);
+3. build `Application` objects and co-schedule them with the
+   dominant-partition heuristic - the all-miss streaming kernel is
+   *excluded* from the cache subset, exactly as Eq. 3 prescribes;
+4. validate the premise by replay: run the traces on a way-partitioned
+   cache sized by the schedule and on an unpartitioned shared cache,
+   showing the interference that partitioning removes.
+
+Run:  python examples/trace_to_schedule.py
+"""
+
+import numpy as np
+
+from repro.cachesim import (
+    corun_partitioned,
+    corun_shared,
+    profile_application,
+    strided_stream,
+    ways_from_fractions,
+    zipf_stream,
+)
+from repro.core import Workload, dominant_schedule
+from repro.machine import custom
+
+#: (name, footprint lines, zipf skew or None for strided, work, ops/access)
+KERNELS = [
+    ("stencil",   35_000, 1.35, 6e9, 4.0),
+    ("graph",     60_000, 1.05, 2e9, 1.5),
+    ("hash-join", 45_000, 1.20, 3e9, 2.0),
+    ("stream",    80_000, None, 1e9, 8.0),   # strided polluter, > LLC
+]
+
+LLC_BYTES = 2e6
+LLC_WAYS = 32
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    platform = custom(p=8, cache_size=LLC_BYTES, name="edge-node")
+
+    print("1. profiling synthetic kernels (stack-distance LRU + power-law fit)\n")
+    apps, traces = [], []
+    for name, lines, skew, work, opa in KERNELS:
+        if skew is None:
+            trace = strided_stream(lines, 160_000)
+        else:
+            trace = zipf_stream(lines, 80_000, rng, skew=skew)
+        app, _curve, fit = profile_application(
+            name, trace, work=work, operations_per_access=opa,
+            seq_fraction=0.05, exclude_cold=True,
+            cache_bytes=np.geomspace(32 * 1024, 4e6, 10),
+            baseline_cache=LLC_BYTES,
+        )
+        apps.append(app)
+        traces.append(trace)
+        print(f"  {name:<10} footprint={app.footprint / 1e6:5.2f} MB  "
+              f"m0({LLC_BYTES / 1e6:g}MB)={app.miss_rate:9.3e}  "
+              f"fitted alpha={fit.alpha:5.2f}  r2={fit.r2:4.2f}")
+
+    workload = Workload(apps)
+    print("\n2. co-scheduling with the dominant-partition heuristic\n")
+    schedule = dominant_schedule(workload, platform)
+    print(schedule.describe())
+    excluded = [n for n, x in zip(workload.names, schedule.cache) if x == 0]
+    print(f"\n  excluded from the cache partition: {', '.join(excluded)} "
+          "(all-miss profile, Eq. 3)")
+
+    print("\n3. replaying the traces on the partitioned LLC\n")
+    ways = ways_from_fractions(schedule.cache, LLC_WAYS)
+    num_sets = int(LLC_BYTES / 64 / LLC_WAYS)
+    part = corun_partitioned(traces, num_sets, ways)
+    shared = corun_shared(traces, num_sets, LLC_WAYS)
+    print(f"  {'kernel':<10}{'ways':>6}{'partitioned miss':>18}{'shared miss':>14}")
+    for i, name in enumerate(workload.names):
+        print(f"  {name:<10}{int(ways[i]):>6d}{part.miss_rates[i]:>18.3f}"
+              f"{shared.miss_rates[i]:>14.3f}")
+    # Partitioning guarantees isolation (an app's misses depend only on
+    # its own partition) - it does not promise every app beats the
+    # shared free-for-all, where a kernel may steal more than its share.
+    assert np.all(part.miss_rates <= shared.miss_rates + 0.02)
+    better = int((part.miss_rates < shared.miss_rates - 1e-3).sum())
+    print(f"\n  partitioning protects {better} kernel(s) from the streaming "
+          "polluter and makes every")
+    print("  miss rate depend only on the kernel's own partition - the "
+          "exclusivity guarantee")
+    print("  the scheduling model is built on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``python setup.py develop`` works
+in fully offline environments that lack the ``wheel`` package needed by
+PEP-517 editable installs.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Model-sensitivity and misestimation analysis tools."""
+
+from .sensitivity import (
+    alpha_misestimation_regret,
+    evaluate_under,
+    missrate_misestimation_regret,
+    parameter_elasticities,
+)
+
+__all__ = [
+    "evaluate_under",
+    "alpha_misestimation_regret",
+    "missrate_misestimation_regret",
+    "parameter_elasticities",
+]

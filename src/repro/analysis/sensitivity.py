@@ -1,0 +1,148 @@
+"""Model-misestimation and parameter-sensitivity analysis.
+
+The paper's conclusion asks how accurate the model must be ("further
+validate the accuracy of the model").  These tools quantify it within
+the reproduction:
+
+* :func:`evaluate_under` — price a schedule computed with *assumed*
+  parameters against the *true* model (allocation decisions frozen,
+  reality decides the finish times);
+* :func:`alpha_misestimation_regret` / :func:`missrate_misestimation_regret`
+  — the relative makespan cost of scheduling with a wrong power-law
+  sensitivity or with systematically biased miss rates, versus having
+  scheduled with the truth;
+* :func:`parameter_elasticities` — finite-difference elasticities
+  ``d log(makespan) / d log(param)`` per application parameter, which
+  identify the measurements worth refining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.application import Application, Workload
+from ..core.execution import execution_times
+from ..core.platform import Platform
+from ..core.registry import get_scheduler
+from ..core.schedule import Schedule
+from ..types import ModelError
+
+__all__ = [
+    "evaluate_under",
+    "alpha_misestimation_regret",
+    "missrate_misestimation_regret",
+    "parameter_elasticities",
+]
+
+
+def evaluate_under(schedule: Schedule, true_platform: Platform,
+                   true_workload: Workload | None = None) -> float:
+    """Makespan of *schedule*'s allocations under the true model.
+
+    The processor and cache decisions are kept; only the cost model
+    changes.  This is what actually happens when a scheduler built on
+    estimated parameters meets reality.
+    """
+    wl = true_workload if true_workload is not None else schedule.workload
+    if wl.n != schedule.workload.n:
+        raise ModelError("true workload must have the same number of applications")
+    times = execution_times(wl, true_platform, schedule.procs, schedule.cache)
+    return float(times.max())
+
+
+def _regret(
+    workload_assumed: Workload,
+    platform_assumed: Platform,
+    workload_true: Workload,
+    platform_true: Platform,
+    scheduler_name: str,
+    rng: Optional[np.random.Generator],
+) -> float:
+    scheduler = get_scheduler(scheduler_name)
+    naive = scheduler(workload_assumed, platform_assumed, rng)
+    oracle = scheduler(workload_true, platform_true, rng)
+    achieved = evaluate_under(naive, platform_true, workload_true)
+    best = evaluate_under(oracle, platform_true, workload_true)
+    return achieved / best - 1.0
+
+
+def alpha_misestimation_regret(
+    workload: Workload,
+    platform: Platform,
+    *,
+    alpha_true: float,
+    alpha_assumed: float,
+    scheduler: str = "dominant-minratio",
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Regret of scheduling with ``alpha_assumed`` when reality is
+    ``alpha_true`` (both in (0, 1])."""
+    pf_true = dc_replace(platform, alpha=alpha_true)
+    pf_assumed = dc_replace(platform, alpha=alpha_assumed)
+    return _regret(workload, pf_assumed, workload, pf_true, scheduler, rng)
+
+
+def missrate_misestimation_regret(
+    workload: Workload,
+    platform: Platform,
+    *,
+    bias: float,
+    scheduler: str = "dominant-minratio",
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Regret when every measured ``m0`` is off by the factor *bias*.
+
+    ``bias = 2`` means the profiler overestimated every miss rate 2x
+    (true rates are half of what the scheduler believed).
+    """
+    if bias <= 0:
+        raise ModelError(f"bias must be positive, got {bias}")
+    truth = Workload([
+        dc_replace(app, miss_rate=min(1.0, app.miss_rate / bias)) for app in workload
+    ])
+    return _regret(workload, platform, truth, platform, scheduler, rng)
+
+
+def parameter_elasticities(
+    workload: Workload,
+    platform: Platform,
+    *,
+    scheduler: str = "dominant-minratio",
+    rel_step: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
+) -> dict[str, np.ndarray]:
+    """Per-application makespan elasticities for ``w``, ``f``, ``m0``, ``s``.
+
+    ``out[param][i] ~ dlog(makespan) / dlog(param_i)`` via a forward
+    finite difference with relative step *rel_step*, re-running the
+    full scheduler each time (so the allocation response is included,
+    not just the cost response).
+    """
+    sched_fn = get_scheduler(scheduler)
+    base = sched_fn(workload, platform, rng).makespan()
+
+    def bump(app: Application, param: str) -> Application:
+        if param == "work":
+            return dc_replace(app, work=app.work * (1 + rel_step))
+        if param == "freq":
+            return dc_replace(app, access_freq=app.access_freq * (1 + rel_step))
+        if param == "miss":
+            return dc_replace(app, miss_rate=min(1.0, app.miss_rate * (1 + rel_step)))
+        if param == "seq":
+            bumped = app.seq_fraction * (1 + rel_step) if app.seq_fraction > 0 else rel_step * 0.01
+            return dc_replace(app, seq_fraction=min(1.0, bumped))
+        raise ModelError(f"unknown parameter {param!r}")
+
+    out: dict[str, np.ndarray] = {}
+    for param in ("work", "freq", "miss", "seq"):
+        elast = np.empty(workload.n)
+        for i in range(workload.n):
+            apps = list(workload)
+            apps[i] = bump(apps[i], param)
+            span = sched_fn(Workload(apps), platform, rng).makespan()
+            elast[i] = np.log(span / base) / np.log1p(rel_step)
+        out[param] = elast
+    return out

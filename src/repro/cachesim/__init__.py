@@ -1,0 +1,61 @@
+"""Cache-simulation substrate: LRU caches, way partitioning, profiling.
+
+This package substitutes for the paper's PEBIL-instrumented hardware
+measurements: synthetic address streams + an exact LRU simulator
+(direct and Mattson-stack engines) + way partitioning (Intel CAT
+style) + power-law fitting give an end-to-end path from "memory
+behaviour" to the ``(w, f, m0)`` scalars the scheduling model consumes.
+"""
+
+from .address_stream import (
+    LINE_BYTES,
+    interleave,
+    phased_stream,
+    strided_stream,
+    working_set_stream,
+    zipf_stream,
+)
+from .lru import (
+    LRUCache,
+    miss_counts_by_ways,
+    miss_rate_curve,
+    set_stack_distances,
+    stack_distances,
+)
+from .partitioned import (
+    CorunResult,
+    PartitionedCache,
+    corun_partitioned,
+    corun_shared,
+    ways_from_fractions,
+)
+from .powerlaw_fit import PowerLawFit, fit_power_law
+from .ucp import total_utility, ucp_allocate, utility_from_stack_distances
+from .profiling import MissCurve, measure_miss_curve, profile_application
+
+__all__ = [
+    "LINE_BYTES",
+    "strided_stream",
+    "working_set_stream",
+    "zipf_stream",
+    "phased_stream",
+    "interleave",
+    "LRUCache",
+    "stack_distances",
+    "set_stack_distances",
+    "miss_counts_by_ways",
+    "miss_rate_curve",
+    "PartitionedCache",
+    "CorunResult",
+    "ways_from_fractions",
+    "corun_partitioned",
+    "corun_shared",
+    "PowerLawFit",
+    "fit_power_law",
+    "ucp_allocate",
+    "utility_from_stack_distances",
+    "total_utility",
+    "MissCurve",
+    "measure_miss_curve",
+    "profile_application",
+]

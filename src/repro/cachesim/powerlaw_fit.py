@@ -1,0 +1,115 @@
+"""Fitting the power law of cache misses to simulated sweeps.
+
+Given a measured miss-rate curve ``m(C_k)`` (from
+:func:`repro.cachesim.lru.miss_rate_curve`), recover the Eq. 1
+parameters: the sensitivity ``alpha`` and the baseline rate ``m0`` at a
+reference size ``C0``.  In log space the model is affine,
+
+    ``log m = log m0 + alpha * (log C0 - log C)``,
+
+so a least-squares line on the *unsaturated* points (``m < 1`` — where
+the ``min`` of Eq. 1 is inactive — and ``m > 0``) does it.  The fit
+quality ``r2`` tells the caller whether the workload actually follows
+a power law (streaming workloads do not; Zipf-like ones do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import ModelError
+
+__all__ = ["PowerLawFit", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a power-law regression.
+
+    Attributes
+    ----------
+    m0 : float
+        Fitted miss rate at the reference size ``c0``.
+    alpha : float
+        Fitted sensitivity (positive: bigger cache, fewer misses).
+    c0 : float
+        Reference cache size (bytes or lines — caller's unit).
+    r2 : float
+        Coefficient of determination in log space.
+    points_used : int
+        Number of unsaturated samples used.
+    """
+
+    m0: float
+    alpha: float
+    c0: float
+    r2: float
+    points_used: int
+
+    def predict(self, cache_sizes) -> np.ndarray:
+        """Eq. 1 at the fitted parameters."""
+        c = np.asarray(cache_sizes, dtype=np.float64)
+        return np.minimum(1.0, self.m0 * (self.c0 / c) ** self.alpha)
+
+
+def fit_power_law(
+    cache_sizes,
+    miss_rates,
+    *,
+    c0: float | None = None,
+    saturation: float = 0.999,
+    floor: float = 1e-12,
+) -> PowerLawFit:
+    """Least-squares fit of Eq. 1 on the unsaturated part of a sweep.
+
+    Parameters
+    ----------
+    cache_sizes : array_like
+        Cache sizes (any consistent unit), strictly positive.
+    miss_rates : array_like
+        Measured miss rates in [0, 1], same length.
+    c0 : float, optional
+        Reference size for ``m0``; defaults to the largest size.
+    saturation : float
+        Points with miss rate >= this are considered saturated (the
+        ``min(1, .)`` branch) and excluded.
+    floor : float
+        Points with miss rate <= this are excluded (log-domain).
+
+    Raises
+    ------
+    ModelError
+        If fewer than two unsaturated points remain.
+    """
+    sizes = np.asarray(cache_sizes, dtype=np.float64)
+    rates = np.asarray(miss_rates, dtype=np.float64)
+    if sizes.shape != rates.shape or sizes.ndim != 1:
+        raise ModelError("cache_sizes and miss_rates must be equal-length 1-D arrays")
+    if np.any(sizes <= 0):
+        raise ModelError("cache sizes must be positive")
+    if np.any((rates < 0) | (rates > 1)):
+        raise ModelError("miss rates must lie in [0, 1]")
+    if c0 is None:
+        c0 = float(sizes.max())
+
+    usable = (rates < saturation) & (rates > floor)
+    if usable.sum() < 2:
+        raise ModelError(
+            f"need at least 2 unsaturated points to fit, got {int(usable.sum())}"
+        )
+    x = np.log(c0 / sizes[usable])
+    y = np.log(rates[usable])
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(
+        m0=float(np.exp(intercept)),
+        alpha=float(slope),
+        c0=float(c0),
+        r2=r2,
+        points_used=int(usable.sum()),
+    )

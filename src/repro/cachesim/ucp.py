@@ -1,0 +1,137 @@
+"""Utility-based cache partitioning (UCP) — Qureshi & Patt, MICRO'06.
+
+The paper cites UCP ([24]) as the classic *dynamic* partitioning
+mechanism; implementing it gives a second, measurement-driven
+allocator to compare against the closed-form Theorem-3 fractions:
+
+* a **utility curve** per application: ``misses(w)`` for ``w`` ways —
+  obtainable exactly from one stack-distance pass
+  (:func:`utility_from_stack_distances`), which is precisely the UMON
+  shadow-tag mechanism of the original paper, idealized;
+* the **lookahead** allocation algorithm: repeatedly grant the block
+  of ways with the highest marginal utility per way, which handles the
+  non-convex utility curves that defeat plain greedy.
+
+:func:`ucp_allocate` works on any curves (measured or model-derived);
+:mod:`repro.extensions.granularity` uses it with Eq. 2 model curves to
+price the cost of discrete hardware ways vs the paper's continuous
+fractions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import ModelError
+from .lru import miss_counts_by_ways, stack_distances
+
+__all__ = ["utility_from_stack_distances", "ucp_allocate", "total_utility"]
+
+
+def utility_from_stack_distances(trace, max_ways: int, *, num_sets: int = 1) -> np.ndarray:
+    """Misses of *trace* for every way count ``0..max_ways``.
+
+    Index ``w`` of the result is the miss count with ``w`` ways (0 ways
+    = every access misses).  One stack pass prices all sizes — the
+    idealized UMON monitor.
+    """
+    trace = np.asarray(trace, dtype=np.int64)
+    if max_ways < 1:
+        raise ModelError(f"max_ways must be >= 1, got {max_ways}")
+    if num_sets != 1:
+        from .lru import set_stack_distances
+
+        distances = set_stack_distances(trace, num_sets)
+    else:
+        distances = stack_distances(trace)
+    counts = miss_counts_by_ways(distances, np.arange(1, max_ways + 1))
+    return np.concatenate(([trace.size], counts)).astype(np.float64)
+
+
+def ucp_allocate(
+    utility_curves,
+    total_ways: int,
+    *,
+    min_ways: int = 0,
+    max_lookahead: int | None = None,
+) -> np.ndarray:
+    """Partition *total_ways* among applications (UCP lookahead).
+
+    Parameters
+    ----------
+    utility_curves : sequence of array_like
+        ``curves[i][w]`` = cost (e.g. misses, or model time) of
+        application ``i`` when holding ``w`` ways, for
+        ``w = 0..W_i``; curves must be non-increasing in ``w``.  Apps
+        may have different lengths (capped at their footprint).
+    total_ways : int
+        Ways available.
+    min_ways : int
+        Minimum ways granted to every application first (UCP uses 1 so
+        nobody starves; 0 matches the paper's "no cache for some apps"
+        regime).
+    max_lookahead : int, optional
+        Cap on the lookahead window (default: unlimited — the full
+        remaining budget, the original algorithm).
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer ways per application, summing to <= total_ways (less
+        only when every application is saturated).
+    """
+    curves = [np.asarray(c, dtype=np.float64) for c in utility_curves]
+    n = len(curves)
+    if n == 0:
+        raise ModelError("need at least one utility curve")
+    for i, c in enumerate(curves):
+        if c.ndim != 1 or c.size < 1:
+            raise ModelError(f"curve {i} must be a non-empty 1-D array")
+        if np.any(np.diff(c) > 1e-9 * max(1.0, abs(c[0]))):
+            raise ModelError(f"curve {i} must be non-increasing in ways")
+    if total_ways < n * min_ways:
+        raise ModelError(
+            f"total_ways={total_ways} cannot grant min_ways={min_ways} to {n} apps"
+        )
+
+    alloc = np.full(n, min_ways, dtype=np.int64)
+    for i, c in enumerate(curves):
+        alloc[i] = min(alloc[i], c.size - 1)
+    budget = total_ways - int(alloc.sum())
+
+    while budget > 0:
+        best_gain_per_way = 0.0
+        best_app = -1
+        best_block = 0
+        for i, c in enumerate(curves):
+            have = int(alloc[i])
+            room = min(c.size - 1 - have,
+                       budget if max_lookahead is None else min(budget, max_lookahead))
+            if room <= 0:
+                continue
+            # marginal utility of granting `b` more ways, per way
+            gains = (c[have] - c[have + 1: have + room + 1]) / np.arange(1, room + 1)
+            b = int(np.argmax(gains))
+            if gains[b] > best_gain_per_way:
+                best_gain_per_way = float(gains[b])
+                best_app = i
+                best_block = b + 1
+        if best_app < 0:
+            break  # everyone saturated; leftover ways are worthless
+        alloc[best_app] += best_block
+        budget -= best_block
+    return alloc
+
+
+def total_utility(utility_curves, allocation) -> float:
+    """Total cost of an integer allocation under the given curves."""
+    curves = [np.asarray(c, dtype=np.float64) for c in utility_curves]
+    alloc = np.asarray(allocation, dtype=np.int64)
+    if len(curves) != alloc.size:
+        raise ModelError("allocation length must match the number of curves")
+    total = 0.0
+    for c, w in zip(curves, alloc):
+        if w < 0:
+            raise ModelError("allocations must be >= 0")
+        total += float(c[min(int(w), c.size - 1)])
+    return total

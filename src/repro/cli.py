@@ -1,0 +1,233 @@
+"""Command-line interface: regenerate any paper figure or table.
+
+Examples::
+
+    python -m repro figure fig1 --reps 10 --plot
+    python -m repro figure fig3 --csv out/fig3.csv
+    python -m repro table2
+    python -m repro schedule --dataset npb-synth --napps 32 --scheduler dominant-minratio
+    python -m repro cluster --napps 48 --nodes 4
+    python -m repro pipeline --napps 16
+    python -m repro validate --napps 32
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core.registry import get_scheduler, scheduler_names
+from .experiments.figures import FIGURE_NORMALIZATIONS, build_figure, figure_ids
+from .experiments.runner import run_experiment
+from .experiments.table2 import regenerate_table2
+from .experiments.tables import format_table, render_result
+from .machine.presets import PRESETS, get_preset
+from .viz.ascii_plot import plot_result
+from .workloads.synthetic import DATASETS, generate
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cosched",
+        description="Reproduce 'Co-scheduling algorithms for cache-partitioned systems'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("figure_id", choices=list(figure_ids()))
+    fig.add_argument("--reps", type=int, default=10, help="repetitions (paper: 50)")
+    fig.add_argument("--seed", type=int, default=2017)
+    fig.add_argument("--plot", action="store_true", help="also render an ASCII plot")
+    fig.add_argument("--csv", type=Path, default=None, help="write series to CSV")
+    fig.add_argument(
+        "--normalize",
+        default=None,
+        help="normalize by this scheduler (default: the paper's choice)",
+    )
+
+    sub.add_parser("table2", help="regenerate Table 2 via the trace-driven profiler")
+
+    sched = sub.add_parser("schedule", help="schedule one workload and print it")
+    sched.add_argument("--dataset", choices=list(DATASETS), default="npb-synth")
+    sched.add_argument("--napps", type=int, default=16)
+    sched.add_argument("--scheduler", choices=list(scheduler_names()),
+                       default="dominant-minratio")
+    sched.add_argument("--platform", choices=list(PRESETS), default="taihulight")
+    sched.add_argument("--seed", type=int, default=2017)
+
+    cluster = sub.add_parser("cluster", help="multi-node assignment study")
+    cluster.add_argument("--dataset", choices=list(DATASETS), default="npb-synth")
+    cluster.add_argument("--napps", type=int, default=48)
+    cluster.add_argument("--nodes", type=int, default=4)
+    cluster.add_argument("--platform", choices=list(PRESETS), default="taihulight")
+    cluster.add_argument("--seed", type=int, default=2017)
+
+    pipe = sub.add_parser("pipeline", help="in-situ sustainability report")
+    pipe.add_argument("--dataset", choices=list(DATASETS), default="npb-synth")
+    pipe.add_argument("--napps", type=int, default=16)
+    pipe.add_argument("--platform", choices=list(PRESETS), default="taihulight")
+    pipe.add_argument("--seed", type=int, default=2017)
+
+    val = sub.add_parser("validate",
+                         help="check model vs discrete-event simulation")
+    val.add_argument("--dataset", choices=list(DATASETS), default="npb-synth")
+    val.add_argument("--napps", type=int, default=32)
+    val.add_argument("--platform", choices=list(PRESETS), default="taihulight")
+    val.add_argument("--seed", type=int, default=2017)
+
+    sub.add_parser("list", help="list schedulers, figures, datasets, platforms")
+    return parser
+
+
+def _cmd_figure(args) -> int:
+    exp = build_figure(args.figure_id, reps=args.reps, seed=args.seed)
+    result = run_experiment(exp, progress=lambda msg: print(msg, file=sys.stderr))
+    norms = (
+        (args.normalize,)
+        if args.normalize is not None
+        else FIGURE_NORMALIZATIONS[args.figure_id]
+    )
+    for norm in norms:
+        print(render_result(result, normalize_by=norm))
+        print()
+        if args.plot:
+            logx = "Applications" in result.xlabel
+            print(plot_result(result, normalize_by=norm, logx=logx))
+            print()
+    if args.csv is not None:
+        args.csv.parent.mkdir(parents=True, exist_ok=True)
+        result.to_csv(args.csv, normalize_by=norms[0])
+        print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
+
+
+def _cmd_table2(_args) -> int:
+    rows = []
+    for bench in regenerate_table2():
+        rows.append([
+            bench.name,
+            bench.paper_work,
+            bench.paper_freq,
+            bench.paper_miss,
+            bench.app.miss_rate,
+            bench.fit_alpha,
+            bench.fit_r2,
+        ])
+    header = ["app", "paper w", "paper f", "paper m40MB", "sim m40MB",
+              "fit alpha", "fit r2"]
+    print("Table 2: NPB parameters, paper vs trace-driven simulation")
+    print(format_table(header, rows))
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    workload = generate(args.dataset, args.napps, rng)
+    platform = get_preset(args.platform)
+    schedule = get_scheduler(args.scheduler)(workload, platform, rng)
+    print(schedule.describe())
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from .multinode import (
+        lpt_assignment,
+        lpt_refined_assignment,
+        round_robin_assignment,
+        schedule_cluster,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    workload = generate(args.dataset, args.napps, rng)
+    platform = get_preset(args.platform)
+    rows = []
+    for name, assigner in (("round-robin", round_robin_assignment),
+                           ("lpt", lpt_assignment),
+                           ("lpt-refined", lpt_refined_assignment)):
+        cs = schedule_cluster(
+            workload, platform, assigner(workload, platform, args.nodes))
+        rows.append([name, cs.makespan(), cs.imbalance()])
+    print(f"{args.napps} applications on {args.nodes} nodes "
+          f"({platform.name}, p={platform.p:g}/node)")
+    print(format_table(["assignment", "makespan", "imbalance"], rows))
+    best = lpt_refined_assignment(workload, platform, args.nodes)
+    print()
+    print(schedule_cluster(workload, platform, best).describe())
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from .pipeline import min_sustainable_period
+
+    rng = np.random.default_rng(args.seed)
+    workload = generate(args.dataset, args.napps, rng)
+    platform = get_preset(args.platform)
+    rows = []
+    base = None
+    for name in ("dominant-minratio", "randompart", "0cache", "fair",
+                 "allproccache"):
+        period = min_sustainable_period(
+            workload, platform, scheduler=name, rng=np.random.default_rng(1))
+        if base is None:
+            base = period
+        rows.append([name, period, period / base])
+    print(f"sustainable in-situ period per strategy "
+          f"({args.napps} kernels, {platform.name})")
+    print(format_table(["strategy", "min period", "vs dominant"], rows))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .simulate import validate_schedule
+
+    rng = np.random.default_rng(args.seed)
+    workload = generate(args.dataset, args.napps, rng)
+    platform = get_preset(args.platform)
+    rows = []
+    worst = 0.0
+    for name in sorted(scheduler_names()):
+        schedule = get_scheduler(name)(workload, platform,
+                                       np.random.default_rng(1))
+        if not hasattr(schedule, "times") or not schedule.concurrent:
+            continue
+        report = validate_schedule(schedule)
+        worst = max(worst, report.max_relative_error)
+        rows.append([name, report.max_relative_error,
+                     "ok" if report.agrees else "MISMATCH"])
+    print("model vs discrete-event simulation (max relative error)")
+    print(format_table(["strategy", "max rel err", "status"], rows, precision=2))
+    return 0 if worst <= 1e-9 else 1
+
+
+def _cmd_list(_args) -> int:
+    print("schedulers: " + ", ".join(scheduler_names()))
+    print("figures:    " + ", ".join(figure_ids()))
+    print("datasets:   " + ", ".join(DATASETS))
+    print("platforms:  " + ", ".join(PRESETS))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "figure": _cmd_figure,
+        "table2": _cmd_table2,
+        "schedule": _cmd_schedule,
+        "cluster": _cmd_cluster,
+        "pipeline": _cmd_pipeline,
+        "validate": _cmd_validate,
+        "list": _cmd_list,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

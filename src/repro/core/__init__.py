@@ -1,0 +1,106 @@
+"""Core model and algorithms of the paper.
+
+Public surface:
+
+* :class:`Application`, :class:`Workload` — the application model.
+* :class:`Platform` — machine parameters.
+* Eq. 1 / Eq. 2 evaluators (:mod:`repro.core.powerlaw`,
+  :mod:`repro.core.execution`).
+* :class:`Schedule` / :class:`SequentialSchedule` — solution objects.
+* Dominance theory (:mod:`repro.core.dominance`) and the processor
+  allocators (:mod:`repro.core.processor_allocation`).
+* The six heuristics, four baselines, and the name registry.
+"""
+
+from .application import BASELINE_CACHE_BYTES, Application, Workload
+from .baselines import all_proc_cache, fair, random_partition, zero_cache
+from .dominance import (
+    cache_weights,
+    dominance_ratios,
+    is_dominant,
+    optimal_cache_fractions,
+    violating_applications,
+)
+from .execution import (
+    amdahl_flops,
+    amdahl_speedup,
+    execution_time_single,
+    execution_times,
+    miss_rates,
+    sequential_times,
+)
+from .heuristics import (
+    DOMINANT_HEURISTICS,
+    dominant_partition,
+    dominant_rev_partition,
+    dominant_schedule,
+)
+from .platform import Platform
+from .powerlaw import (
+    cache_for_target_miss_rate,
+    effective_cache,
+    miss_rate,
+    miss_rate_fraction,
+    useful_fraction_bounds,
+)
+from .processor_allocation import (
+    build_equal_finish_schedule,
+    equal_finish_allocation,
+    equal_finish_makespan,
+    lemma2_processor_allocation,
+    perfectly_parallel_makespan,
+)
+from .registry import (
+    PAPER_BASELINES,
+    PAPER_HEURISTICS,
+    get_scheduler,
+    is_randomized,
+    register,
+    scheduler_names,
+)
+from .schedule import BaseSchedule, Schedule, SequentialSchedule
+
+__all__ = [
+    "Application",
+    "Workload",
+    "Platform",
+    "BASELINE_CACHE_BYTES",
+    "BaseSchedule",
+    "Schedule",
+    "SequentialSchedule",
+    "miss_rate",
+    "miss_rate_fraction",
+    "effective_cache",
+    "useful_fraction_bounds",
+    "cache_for_target_miss_rate",
+    "amdahl_flops",
+    "amdahl_speedup",
+    "miss_rates",
+    "sequential_times",
+    "execution_times",
+    "execution_time_single",
+    "cache_weights",
+    "dominance_ratios",
+    "is_dominant",
+    "violating_applications",
+    "optimal_cache_fractions",
+    "lemma2_processor_allocation",
+    "perfectly_parallel_makespan",
+    "equal_finish_makespan",
+    "equal_finish_allocation",
+    "build_equal_finish_schedule",
+    "dominant_partition",
+    "dominant_rev_partition",
+    "dominant_schedule",
+    "DOMINANT_HEURISTICS",
+    "all_proc_cache",
+    "fair",
+    "zero_cache",
+    "random_partition",
+    "register",
+    "get_scheduler",
+    "scheduler_names",
+    "is_randomized",
+    "PAPER_HEURISTICS",
+    "PAPER_BASELINES",
+]

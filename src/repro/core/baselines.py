@@ -1,0 +1,80 @@
+"""Baseline scheduling strategies of Section 6.3.
+
+* :func:`all_proc_cache` — no co-scheduling: applications run in
+  sequence, each on all ``p`` processors with the whole LLC.  Every
+  figure in the paper is normalized against this strategy (or against
+  DominantMinRatio).
+* :func:`fair` — every application gets ``p/n`` processors and a cache
+  share proportional to its access frequency, ``x_i = f_i / sum_j f_j``.
+* :func:`zero_cache` — nobody gets cache (``x_i = 0``); processors are
+  assigned so all applications finish together.  Isolates the value of
+  the *cache-allocation* decision: the only difference between this and
+  the dominant heuristics is the cache partition.
+* :func:`random_partition` — a uniformly random subset shares the
+  cache with Theorem-3 fractions inside it; processors equal-finish.
+  Isolates the value of choosing a *dominant* subset rather than an
+  arbitrary one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .application import Workload
+from .dominance import cache_weights, optimal_cache_fractions
+from .platform import Platform
+from .processor_allocation import build_equal_finish_schedule
+from .schedule import Schedule, SequentialSchedule
+
+__all__ = ["all_proc_cache", "fair", "zero_cache", "random_partition"]
+
+
+def all_proc_cache(workload: Workload, platform: Platform) -> SequentialSchedule:
+    """Sequential execution, whole machine per application (AllProcCache)."""
+    return SequentialSchedule(workload, platform)
+
+
+def fair(workload: Workload, platform: Platform) -> Schedule:
+    """Equal processors, frequency-proportional cache shares (Fair).
+
+    When every application has ``f == 0`` the cache is split equally —
+    the shares are irrelevant in that case since nobody accesses data.
+    """
+    n = workload.n
+    procs = np.full(n, platform.p / n)
+    total_freq = float(workload.freq.sum())
+    if total_freq > 0:
+        cache = workload.freq / total_freq
+    else:
+        cache = np.full(n, 1.0 / n)
+    return Schedule(workload, platform, procs, cache)
+
+
+def zero_cache(workload: Workload, platform: Platform) -> Schedule:
+    """No cache for anyone; equal-finish processor allocation (0cache)."""
+    x = np.zeros(workload.n)
+    return build_equal_finish_schedule(workload, platform, x)
+
+
+def random_partition(
+    workload: Workload,
+    platform: Platform,
+    rng: np.random.Generator | None = None,
+) -> Schedule:
+    """Random cache subset with Theorem-3 fractions inside (RandomPart).
+
+    Each application joins the cache subset independently with
+    probability 1/2, restricted to applications that can profit from
+    cache (positive weight).  If the draw selects nobody, the schedule
+    degenerates to 0cache — exactly the paper's "for those in cache"
+    formulation.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    weights = cache_weights(workload, platform)
+    eligible = weights > 0
+    mask = eligible & (rng.random(workload.n) < 0.5)
+    if mask.any():
+        x = optimal_cache_fractions(workload, platform, mask)
+    else:
+        x = np.zeros(workload.n)
+    return build_equal_finish_schedule(workload, platform, x)

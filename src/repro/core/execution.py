@@ -1,0 +1,138 @@
+"""The execution-time model of Eq. 2, vectorized over applications.
+
+For application ``Ti`` on ``pi`` processors with a fraction ``xi`` of
+the LLC:
+
+    ``Exe_i(pi, xi) = Fl_i(pi) * (1 + fi * (ls + ll * m_i(xi)))``
+
+where ``Fl_i(pi) = si*wi + (1-si)*wi/pi`` is Amdahl's per-processor
+operation count and ``m_i(xi)`` is the power-law miss rate of the
+allocation, clamped by the memory footprint (second branch of Eq. 2).
+
+The module exposes both a scalar convenience entry point
+(:func:`execution_time_single`) and the vectorized
+:func:`execution_times` used by schedules, heuristics, and experiment
+sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import ModelError
+from .application import Application, Workload
+from .platform import Platform
+from .powerlaw import effective_cache, miss_rate
+
+__all__ = [
+    "amdahl_flops",
+    "amdahl_speedup",
+    "miss_rates",
+    "access_cost_factor",
+    "sequential_times",
+    "execution_times",
+    "execution_time_single",
+]
+
+
+def amdahl_flops(work, seq, procs):
+    """Per-processor operation count ``Fl(p) = s*w + (1-s)*w/p``.
+
+    Broadcasts over its arguments.  ``procs`` must be positive.
+    """
+    work = np.asarray(work, dtype=np.float64)
+    seq = np.asarray(seq, dtype=np.float64)
+    procs = np.asarray(procs, dtype=np.float64)
+    if np.any(procs <= 0):
+        raise ModelError("processor allocation must be positive")
+    out = seq * work + (1.0 - seq) * work / procs
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def amdahl_speedup(seq, procs):
+    """Amdahl speedup ``1 / (s + (1-s)/p)``."""
+    seq = np.asarray(seq, dtype=np.float64)
+    procs = np.asarray(procs, dtype=np.float64)
+    if np.any(procs <= 0):
+        raise ModelError("processor allocation must be positive")
+    out = 1.0 / (seq + (1.0 - seq) / procs)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def miss_rates(workload: Workload, platform: Platform, cache_fractions) -> np.ndarray:
+    """Per-application miss rates for the given cache fractions.
+
+    Applies both the power law and the footprint clamp: the bytes that
+    actually count are ``min(x_i * Cs, a_i)``.
+    """
+    x = np.asarray(cache_fractions, dtype=np.float64)
+    if x.shape != (workload.n,):
+        raise ModelError(f"cache_fractions must have shape ({workload.n},), got {x.shape}")
+    if np.any(x < 0):
+        raise ModelError("cache fractions must be >= 0")
+    cache_bytes = effective_cache(x * platform.cache_size, workload.footprint)
+    return np.asarray(
+        miss_rate(workload.miss0, workload.baseline_cache, cache_bytes, platform.alpha)
+    )
+
+
+def access_cost_factor(workload: Workload, platform: Platform, cache_fractions) -> np.ndarray:
+    """Per-operation cost multiplier ``1 + f*(ls + ll*m(x))`` of Eq. 2."""
+    m = miss_rates(workload, platform, cache_fractions)
+    return 1.0 + workload.freq * (
+        platform.latency_cache + platform.latency_memory * m
+    )
+
+
+def sequential_times(workload: Workload, platform: Platform, cache_fractions) -> np.ndarray:
+    """``Exeseq_i(x_i) = Exe_i(1, x_i)`` for every application.
+
+    This is the quantity the theory calls ``c_i``: total work times the
+    access-cost factor, on a single processor.
+    """
+    return workload.work * access_cost_factor(workload, platform, cache_fractions)
+
+
+def execution_times(
+    workload: Workload,
+    platform: Platform,
+    procs,
+    cache_fractions,
+) -> np.ndarray:
+    """Vector of ``Exe_i(p_i, x_i)`` (Eq. 2) for the whole workload.
+
+    Parameters
+    ----------
+    workload : Workload
+        Applications to evaluate.
+    platform : Platform
+        Machine parameters.
+    procs : array_like
+        Positive processor allocations, shape ``(n,)``.
+    cache_fractions : array_like
+        Cache fractions in ``[0, 1]``, shape ``(n,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Execution times, shape ``(n,)``.
+    """
+    p = np.asarray(procs, dtype=np.float64)
+    if p.shape != (workload.n,):
+        raise ModelError(f"procs must have shape ({workload.n},), got {p.shape}")
+    flops = amdahl_flops(workload.work, workload.seq, p)
+    return flops * access_cost_factor(workload, platform, cache_fractions)
+
+
+def execution_time_single(
+    app: Application, platform: Platform, procs: float, cache_fraction: float
+) -> float:
+    """Scalar ``Exe(p, x)`` for one application (convenience wrapper)."""
+    wl = Workload([app])
+    return float(
+        execution_times(wl, platform, np.array([procs]), np.array([cache_fraction]))[0]
+    )

@@ -1,0 +1,211 @@
+"""Processor allocation: Lemma 2 and the equal-finish binary search.
+
+Two regimes:
+
+* **Perfectly parallel** (``s_i = 0``): Lemma 2 gives the closed form
+  ``p_i = p * c_i / sum_j c_j`` with ``c_i = Exe_i(1, x_i)``, and the
+  common makespan is ``sum_i c_i / p`` (Lemma 3).
+
+* **Amdahl** (``s_i > 0`` allowed): Section 5 of the paper imposes the
+  equal-finish property and solves ``sum_i (1-s_i) / (K/c_i - s_i) = p``
+  for the makespan ``K`` by binary search; each application then gets
+  ``p_i = (1-s_i) / (K/c_i - s_i)`` processors.
+
+The left-hand side ``g(K)`` is strictly decreasing in ``K`` on
+``(max_i s_i c_i, inf)`` and tends to ``sum_i (1-s_i) * c_i / K -> 0``,
+so a unique root exists for every ``p > 0``.  We bracket it with the
+paper's bounds (every application on ``p`` processors, respectively on
+1 processor — expanded geometrically when ``n > p`` makes the upper
+bound insufficient) and use Brent's method with a plain-bisection
+fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy.optimize import brentq
+
+from ..types import SolverError
+from .application import Workload
+from .execution import sequential_times
+from .platform import Platform
+from .schedule import Schedule
+
+__all__ = [
+    "lemma2_processor_allocation",
+    "perfectly_parallel_makespan",
+    "equal_finish_makespan",
+    "equal_finish_allocation",
+    "build_equal_finish_schedule",
+    "processor_demand",
+]
+
+
+def lemma2_processor_allocation(
+    workload: Workload, platform: Platform, cache_fractions
+) -> np.ndarray:
+    """Closed-form allocation ``p_i = p * c_i / sum_j c_j`` (Lemma 2).
+
+    Exactly optimal for perfectly parallel applications; used as the
+    paper does — a guide — otherwise.
+    """
+    c = sequential_times(workload, platform, cache_fractions)
+    return platform.p * c / c.sum()
+
+
+def perfectly_parallel_makespan(
+    workload: Workload, platform: Platform, cache_fractions
+) -> float:
+    """Makespan ``(1/p) sum_i Exe_i(1, x_i)`` of Lemma 3."""
+    c = sequential_times(workload, platform, cache_fractions)
+    return float(c.sum() / platform.p)
+
+
+def processor_demand(seq: np.ndarray, c: np.ndarray, makespan: float) -> float:
+    """Total processors needed for every app to finish at *makespan*.
+
+    Evaluates ``g(K) = sum_i (1-s_i) / (K/c_i - s_i)``.  Infinite when
+    ``K <= s_i * c_i`` for some ``i`` (no processor count suffices).
+    Applications whose work is entirely sequential (``s_i == 1``)
+    contribute 0 processors-of-demand beyond feasibility: they finish at
+    ``c_i`` regardless, so ``K >= c_i`` is required and the demand is
+    the limit value 0 there.
+    """
+    denom = makespan / c - seq
+    if np.any(denom <= 0):
+        return np.inf
+    return float(((1.0 - seq) / denom).sum())
+
+
+def equal_finish_makespan(
+    workload: Workload,
+    platform: Platform,
+    cache_fractions,
+    *,
+    xtol: float = 1e-12,
+    method: str = "brentq",
+) -> float:
+    """Solve ``g(K) = p`` for the equal-finish makespan ``K``.
+
+    Parameters
+    ----------
+    workload, platform, cache_fractions
+        The co-schedule being priced.
+    xtol : float
+        Relative tolerance on ``K``.
+    method : {"brentq", "bisect"}
+        Root finder.  ``"bisect"`` is the paper's literal binary search
+        and is kept for the solver-ablation benchmark; ``"brentq"`` is
+        the default (same bracket, fewer iterations).
+
+    Returns
+    -------
+    float
+        The common finish time ``K``.
+    """
+    seq = workload.seq
+    c = sequential_times(workload, platform, cache_fractions)
+    p = platform.p
+
+    if workload.n == 1:
+        # One application takes the whole machine.
+        return float((seq[0] + (1.0 - seq[0]) / p) * c[0])
+
+    # Lower bound: every application on all p processors (finishing
+    # earlier than that is impossible).  Strictly above the singularity
+    # max_i s_i * c_i, so g(lo) is finite and >= p.
+    lo = float(((seq + (1.0 - seq) / p) * c).max())
+    # Upper bound: every application on one processor; expand when
+    # n > p makes even that insufficient.
+    hi = float(c.max())
+    if hi <= lo:
+        hi = lo * (1.0 + 1e-9) + 1e-300
+    g = lambda K: processor_demand(seq, c, K) - p  # noqa: E731
+    g_lo = g(lo)
+    if g_lo <= 0:
+        # Degenerate: even the fastest possible finish needs fewer than
+        # p processors in total (can happen when n is tiny and the
+        # budget huge); the equal-finish solution then saturates at lo.
+        return lo
+    expansions = 0
+    while g(hi) > 0:
+        hi *= 2.0
+        expansions += 1
+        if expansions > 200:
+            raise SolverError("could not bracket the equal-finish makespan")
+
+    if method == "bisect":
+        return _bisect(g, lo, hi, xtol=xtol)
+    if method != "brentq":
+        raise ValueError(f"unknown method {method!r}")
+    try:
+        return float(brentq(g, lo, hi, xtol=max(xtol * lo, 1e-300), rtol=1e-14))
+    except ValueError as exc:  # pragma: no cover - bracket guaranteed above
+        raise SolverError(f"brentq failed on [{lo}, {hi}]: {exc}") from exc
+
+
+def _bisect(g: Callable[[float], float], lo: float, hi: float, *, xtol: float) -> float:
+    """Plain binary search on a decreasing function, paper-style."""
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if g(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= xtol * max(1.0, lo):
+            break
+    return 0.5 * (lo + hi)
+
+
+def equal_finish_allocation(
+    workload: Workload,
+    platform: Platform,
+    cache_fractions,
+    *,
+    method: str = "brentq",
+) -> tuple[np.ndarray, float]:
+    """Processor allocation making all applications finish together.
+
+    Returns ``(procs, makespan)`` where
+    ``procs_i = (1-s_i) / (K/c_i - s_i)`` and ``K`` solves ``g(K)=p``.
+    When the solution saturates (fewer than ``p`` processors needed in
+    total), leftover processors are spread proportionally — they change
+    nothing for perfectly parallel apps already at their bound and keep
+    the schedule feasible.
+    """
+    seq = workload.seq
+    c = sequential_times(workload, platform, cache_fractions)
+    K = equal_finish_makespan(workload, platform, cache_fractions, method=method)
+    if workload.n == 1:
+        return np.array([float(platform.p)]), K
+    denom = K / c - seq
+    # Guard against roundoff putting a denominator at/below zero for the
+    # slowest application: clamp to the smallest positive share.
+    denom = np.maximum(denom, 1e-300)
+    procs = (1.0 - seq) / denom
+    # A fully sequential application (s == 1) demands 0 processors in
+    # the limit; give it an epsilon so the schedule stays valid.
+    procs = np.maximum(procs, 1e-9)
+    total = procs.sum()
+    if total > platform.p:
+        procs *= platform.p / total
+    return procs, float(K)
+
+
+def build_equal_finish_schedule(
+    workload: Workload,
+    platform: Platform,
+    cache_fractions,
+    *,
+    method: str = "brentq",
+) -> Schedule:
+    """Construct the :class:`Schedule` for a given cache partition.
+
+    This is the final step shared by every co-scheduling heuristic in
+    the paper: fractions come from the partitioning strategy, processors
+    from the equal-finish solver.
+    """
+    procs, _ = equal_finish_allocation(workload, platform, cache_fractions, method=method)
+    return Schedule(workload, platform, procs, cache_fractions)

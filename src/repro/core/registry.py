@@ -1,0 +1,113 @@
+"""Scheduler registry: string name -> schedule-building callable.
+
+Experiments, benchmarks, and the CLI refer to strategies by the names
+the paper uses in its figure legends.  Every registered scheduler has
+the uniform signature::
+
+    scheduler(workload, platform, rng=None) -> BaseSchedule
+
+Deterministic strategies ignore ``rng``.  Use :func:`register` to add
+custom strategies (the extensions package registers itself on import).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..types import ModelError
+from .application import Workload
+from .baselines import all_proc_cache, fair, random_partition, zero_cache
+from .heuristics import DOMINANT_HEURISTICS, dominant_schedule
+from .platform import Platform
+from .schedule import BaseSchedule
+
+__all__ = [
+    "SchedulerFn",
+    "register",
+    "get_scheduler",
+    "scheduler_names",
+    "is_randomized",
+    "PAPER_HEURISTICS",
+    "PAPER_BASELINES",
+]
+
+SchedulerFn = Callable[[Workload, Platform, Optional[np.random.Generator]], BaseSchedule]
+
+_REGISTRY: dict[str, SchedulerFn] = {}
+_RANDOMIZED: set[str] = set()
+
+#: The six dominant-partition heuristics of Section 5 (figure legend order).
+PAPER_HEURISTICS: tuple[str, ...] = tuple(DOMINANT_HEURISTICS)
+
+#: The comparison baselines of Section 6.3.
+PAPER_BASELINES: tuple[str, ...] = ("allproccache", "fair", "0cache", "randompart")
+
+
+def register(name: str, fn: SchedulerFn, *, randomized: bool = False,
+             overwrite: bool = False) -> None:
+    """Register *fn* under *name* (lowercase canonical).
+
+    Parameters
+    ----------
+    name : str
+        Registry key; looked up case-insensitively.
+    fn : SchedulerFn
+        Callable building a schedule.
+    randomized : bool
+        Mark strategies whose result depends on ``rng`` — the
+        experiment runner averages these over repetitions.
+    overwrite : bool
+        Allow replacing an existing entry.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ModelError(f"scheduler {name!r} is already registered")
+    _REGISTRY[key] = fn
+    if randomized:
+        _RANDOMIZED.add(key)
+    else:
+        _RANDOMIZED.discard(key)
+
+
+def get_scheduler(name: str) -> SchedulerFn:
+    """Look up a scheduler by name; raises with the known names listed."""
+    key = name.lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ModelError(
+            f"unknown scheduler {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def scheduler_names() -> tuple[str, ...]:
+    """All registered scheduler names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def is_randomized(name: str) -> bool:
+    """Whether the strategy's output depends on the RNG."""
+    return name.lower() in _RANDOMIZED
+
+
+def _make_dominant(strategy: str, choice: str) -> SchedulerFn:
+    def scheduler(workload: Workload, platform: Platform,
+                  rng: Optional[np.random.Generator] = None) -> BaseSchedule:
+        return dominant_schedule(
+            workload, platform, strategy=strategy, choice=choice, rng=rng
+        )
+
+    scheduler.__name__ = f"{strategy}_{choice}_scheduler"
+    return scheduler
+
+
+for _name, (_strategy, _choice) in DOMINANT_HEURISTICS.items():
+    register(_name, _make_dominant(_strategy, _choice), randomized=(_choice == "random"))
+
+register("allproccache", lambda wl, pf, rng=None: all_proc_cache(wl, pf))
+register("fair", lambda wl, pf, rng=None: fair(wl, pf))
+register("0cache", lambda wl, pf, rng=None: zero_cache(wl, pf))
+register("randompart", lambda wl, pf, rng=None: random_partition(wl, pf, rng),
+         randomized=True)

@@ -1,0 +1,28 @@
+"""Experiment harness: runner, per-figure definitions, tables, CSV."""
+
+from .figures import (
+    FIGURE_NORMALIZATIONS,
+    FIGURES,
+    build_figure,
+    figure_ids,
+)
+from .results import MAKESPAN, ExperimentResult
+from .runner import DEFAULT_METRICS, Experiment, run_experiment
+from .table2 import ProfiledBenchmark, regenerate_table2
+from .tables import format_table, render_result
+
+__all__ = [
+    "Experiment",
+    "run_experiment",
+    "DEFAULT_METRICS",
+    "ExperimentResult",
+    "MAKESPAN",
+    "FIGURES",
+    "FIGURE_NORMALIZATIONS",
+    "build_figure",
+    "figure_ids",
+    "format_table",
+    "render_result",
+    "ProfiledBenchmark",
+    "regenerate_table2",
+]

@@ -1,0 +1,144 @@
+"""Experiment result containers, normalization, and CSV export.
+
+An :class:`ExperimentResult` holds, for one experiment (one figure of
+the paper), the raw metric samples for every scheduler at every sweep
+point across every repetition, so the figure's series can be derived
+in any normalization the paper uses:
+
+* ``normalized(by=...)`` — per-repetition ratio to a reference
+  scheduler, then averaged (this matches the paper's "results are
+  normalized with X" protocol applied per random instance);
+* ``mean`` / ``spread`` — raw statistics (used by the repartition
+  figures 7 and 17, which plot min/avg/max of per-application
+  allocations rather than makespans).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..types import ModelError
+
+__all__ = ["ExperimentResult", "MAKESPAN"]
+
+#: Canonical metric name for the makespan.
+MAKESPAN = "makespan"
+
+
+@dataclass
+class ExperimentResult:
+    """Raw samples of one experiment.
+
+    Attributes
+    ----------
+    experiment_id : str
+        e.g. ``"fig1"``.
+    title : str
+        Human-readable description (figure caption).
+    xlabel : str
+        Sweep-axis label.
+    x : numpy.ndarray
+        Sweep points, shape ``(npoints,)``.
+    data : dict[str, dict[str, numpy.ndarray]]
+        ``data[scheduler][metric]`` has shape ``(reps, npoints)``.
+    meta : dict
+        Free-form provenance (seed, reps, platform, dataset...).
+    """
+
+    experiment_id: str
+    title: str
+    xlabel: str
+    x: np.ndarray
+    data: dict[str, dict[str, np.ndarray]]
+    meta: dict = field(default_factory=dict)
+
+    # -- access -------------------------------------------------------------
+    @property
+    def schedulers(self) -> tuple[str, ...]:
+        return tuple(self.data)
+
+    @property
+    def reps(self) -> int:
+        first = next(iter(self.data.values()))
+        return next(iter(first.values())).shape[0]
+
+    def samples(self, scheduler: str, metric: str = MAKESPAN) -> np.ndarray:
+        """Raw samples, shape ``(reps, npoints)``."""
+        try:
+            return self.data[scheduler][metric]
+        except KeyError:
+            raise ModelError(
+                f"no samples for scheduler={scheduler!r} metric={metric!r}; "
+                f"have schedulers {list(self.data)}"
+            ) from None
+
+    def mean(self, scheduler: str, metric: str = MAKESPAN) -> np.ndarray:
+        """Across-repetition mean, shape ``(npoints,)``."""
+        return self.samples(scheduler, metric).mean(axis=0)
+
+    def spread(self, scheduler: str, metric: str = MAKESPAN) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(min, mean, max) across repetitions, each ``(npoints,)``."""
+        s = self.samples(scheduler, metric)
+        return s.min(axis=0), s.mean(axis=0), s.max(axis=0)
+
+    def normalized(self, by: str, metric: str = MAKESPAN) -> dict[str, np.ndarray]:
+        """Per-repetition normalization to scheduler *by*, then mean.
+
+        Returns ``{scheduler: series}`` including the reference (whose
+        series is identically 1).
+        """
+        ref = self.samples(by, metric)
+        if np.any(ref <= 0):
+            raise ModelError(f"reference scheduler {by!r} has non-positive samples")
+        return {
+            name: (self.samples(name, metric) / ref).mean(axis=0)
+            for name in self.data
+            if metric in self.data[name]
+        }
+
+    # -- presentation ---------------------------------------------------------
+    def to_rows(
+        self,
+        *,
+        normalize_by: str | None = None,
+        metric: str = MAKESPAN,
+    ) -> tuple[list[str], list[list[float]]]:
+        """(header, rows) for tabular printing — one row per sweep point."""
+        if normalize_by is not None:
+            series = self.normalized(normalize_by, metric)
+        else:
+            series = {name: self.mean(name, metric) for name in self.data
+                      if metric in self.data[name]}
+        header = [self.xlabel] + list(series)
+        rows = [
+            [float(self.x[i])] + [float(series[name][i]) for name in series]
+            for i in range(len(self.x))
+        ]
+        return header, rows
+
+    def to_csv(
+        self,
+        path: str | Path,
+        *,
+        normalize_by: str | None = None,
+        metric: str = MAKESPAN,
+    ) -> None:
+        """Write the series table to *path*."""
+        header, rows = self.to_rows(normalize_by=normalize_by, metric=metric)
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(header)
+            writer.writerows(rows)
+
+    @staticmethod
+    def read_csv(path: str | Path) -> tuple[list[str], np.ndarray]:
+        """Read back a table written by :meth:`to_csv`."""
+        with open(path, newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader)
+            rows = np.asarray([[float(v) for v in row] for row in reader])
+        return header, rows

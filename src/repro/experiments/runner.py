@@ -1,0 +1,113 @@
+"""The seeded experiment runner.
+
+An :class:`Experiment` bundles everything one figure needs: the sweep
+points, a factory producing ``(workload, platform)`` for a point, the
+schedulers to compare, and the per-schedule metrics to record.
+:func:`run_experiment` executes the full ``points x reps x schedulers``
+grid with independent but reproducible RNG streams (spawned from one
+seed, so adding a scheduler does not perturb the workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.application import Workload
+from ..core.platform import Platform
+from ..core.registry import get_scheduler
+from ..core.schedule import BaseSchedule
+from ..types import ModelError
+from .results import MAKESPAN, ExperimentResult
+
+__all__ = ["Experiment", "run_experiment", "DEFAULT_METRICS"]
+
+#: Factory: (sweep point, rng) -> (workload, platform).
+InstanceFactory = Callable[[float, np.random.Generator], tuple[Workload, Platform]]
+
+#: Metric: schedule -> float.
+MetricFn = Callable[[BaseSchedule], float]
+
+DEFAULT_METRICS: dict[str, MetricFn] = {MAKESPAN: lambda s: s.makespan()}
+
+
+@dataclass
+class Experiment:
+    """Declarative description of one experiment (one paper figure).
+
+    Attributes
+    ----------
+    experiment_id, title, xlabel
+        Identification / presentation strings.
+    points : numpy.ndarray
+        Sweep values (the x axis).
+    factory : InstanceFactory
+        Builds the random instance for a sweep point.
+    schedulers : tuple[str, ...]
+        Registry names to compare.
+    metrics : dict[str, MetricFn]
+        What to record per schedule; defaults to the makespan.
+    reps : int
+        Repetitions (the paper uses 50).
+    seed : int
+        Root seed for the reproducible RNG tree.
+    """
+
+    experiment_id: str
+    title: str
+    xlabel: str
+    points: np.ndarray
+    factory: InstanceFactory
+    schedulers: tuple[str, ...]
+    metrics: dict[str, MetricFn] = field(default_factory=lambda: dict(DEFAULT_METRICS))
+    reps: int = 10
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        if self.points.ndim != 1 or self.points.size == 0:
+            raise ModelError("points must be a non-empty 1-D array")
+        if self.reps < 1:
+            raise ModelError(f"reps must be >= 1, got {self.reps}")
+        if not self.schedulers:
+            raise ModelError("need at least one scheduler")
+
+
+def run_experiment(exp: Experiment, *, progress: Callable[[str], None] | None = None) -> ExperimentResult:
+    """Execute the grid and collect an :class:`ExperimentResult`.
+
+    RNG discipline: one child seed per (rep, point) pair drives the
+    instance factory, and an independent child per (rep, point,
+    scheduler) drives randomized schedulers — so every scheduler sees
+    the *same* workload instance, and randomized heuristics do not
+    share streams.
+    """
+    npoints = self_points = exp.points.size
+    data = {
+        name: {metric: np.empty((exp.reps, self_points)) for metric in exp.metrics}
+        for name in exp.schedulers
+    }
+    root = np.random.SeedSequence(exp.seed)
+    rep_seeds = root.spawn(exp.reps)
+    for r in range(exp.reps):
+        point_seeds = rep_seeds[r].spawn(npoints)
+        for j, point in enumerate(exp.points):
+            instance_seed, *sched_seeds = point_seeds[j].spawn(1 + len(exp.schedulers))
+            workload, platform = exp.factory(float(point), np.random.default_rng(instance_seed))
+            for k, name in enumerate(exp.schedulers):
+                scheduler = get_scheduler(name)
+                schedule = scheduler(workload, platform, np.random.default_rng(sched_seeds[k]))
+                for metric, fn in exp.metrics.items():
+                    data[name][metric][r, j] = fn(schedule)
+        if progress is not None:
+            progress(f"{exp.experiment_id}: rep {r + 1}/{exp.reps} done")
+    return ExperimentResult(
+        experiment_id=exp.experiment_id,
+        title=exp.title,
+        xlabel=exp.xlabel,
+        x=exp.points.copy(),
+        data=data,
+        meta={"reps": exp.reps, "seed": exp.seed, "schedulers": list(exp.schedulers)},
+    )

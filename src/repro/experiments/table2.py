@@ -1,0 +1,113 @@
+"""Table 2 regeneration: trace-driven application profiling.
+
+The paper's Table 2 was produced by instrumenting the NPB benchmarks
+with PEBIL and measuring ``(w, f, m_40MB)``.  This module performs the
+substitute pipeline end-to-end: for each NPB benchmark we generate a
+synthetic memory trace whose locality is tuned to land near the
+measured miss rate, push it through the LRU stack simulator, fit the
+power law, and report measured-vs-paper values side by side.
+
+The synthetic locality knobs (working-set size, Zipf skew) were chosen
+so the *simulated* miss rate at 40 MB falls in the same regime as the
+measurement — the point of the exercise is to exercise the full
+trace -> miss-curve -> fit -> Application path, not to reverse-engineer
+NPB memory behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cachesim.address_stream import LINE_BYTES, zipf_stream
+from ..cachesim.profiling import profile_application
+from ..core.application import BASELINE_CACHE_BYTES, Application
+from ..workloads.npb import NPB_TABLE2
+
+__all__ = ["ProfiledBenchmark", "TABLE2_TRACE_RECIPES", "regenerate_table2"]
+
+
+@dataclass(frozen=True)
+class ProfiledBenchmark:
+    """Paper-vs-simulated parameters for one benchmark.
+
+    Attributes
+    ----------
+    name : str
+        Benchmark label.
+    paper_work, paper_freq, paper_miss : float
+        The Table-2 constants.
+    app : Application
+        The application produced by the trace-driven pipeline.
+    fit_alpha, fit_r2 : float
+        Power-law fit quality of the simulated miss curve.
+    """
+
+    name: str
+    paper_work: float
+    paper_freq: float
+    paper_miss: float
+    app: Application
+    fit_alpha: float
+    fit_r2: float
+
+
+#: Per-benchmark synthetic trace recipes: (footprint_lines, skew).
+#: Lower skew = heavier popularity tail = higher miss rate across the
+#: sweep; the skews are ordered like the paper's m_40MB column (CG the
+#: most cache-friendly, MG/FT/SP the least).
+TABLE2_TRACE_RECIPES: dict[str, tuple[int, float]] = {
+    "CG": (400_000, 1.30),
+    "BT": (400_000, 1.10),
+    "LU": (400_000, 1.25),
+    "SP": (400_000, 1.02),
+    "MG": (500_000, 0.95),
+    "FT": (400_000, 1.00),
+}
+
+
+def regenerate_table2(
+    *,
+    trace_length: int = 100_000,
+    seed: int = 2017,
+    cache_points: int = 12,
+) -> list[ProfiledBenchmark]:
+    """Run the profiling pipeline for all six NPB benchmarks.
+
+    ``trace_length`` trades fidelity for runtime (the stack algorithm
+    is ``O(L log L)`` per cache geometry); the default completes in a
+    few seconds and already yields stable fits.  Compulsory misses are
+    excluded (``exclude_cold``): a 1e5-access synthetic trace has a
+    cold-miss floor a real benchmark amortizes over billions of
+    accesses, and the power law of Eq. 1 describes capacity misses.
+    The fitted ``m0`` at 40 MB extrapolates the capacity-miss power law
+    measured on a 16 KB - 16 MB sweep.
+    """
+    rng = np.random.default_rng(seed)
+    sweeps = np.geomspace(16 * 1024, 0.4 * BASELINE_CACHE_BYTES, cache_points)
+    out: list[ProfiledBenchmark] = []
+    for name, (w, f, m40) in NPB_TABLE2.items():
+        footprint_lines, skew = TABLE2_TRACE_RECIPES[name]
+        trace = zipf_stream(footprint_lines, trace_length, rng, skew=skew)
+        app, _curve, fit = profile_application(
+            name,
+            trace,
+            work=w,
+            operations_per_access=1.0 / f,
+            cache_bytes=sweeps,
+            line_bytes=LINE_BYTES,
+            exclude_cold=True,
+        )
+        out.append(
+            ProfiledBenchmark(
+                name=name,
+                paper_work=w,
+                paper_freq=f,
+                paper_miss=m40,
+                app=app,
+                fit_alpha=fit.alpha,
+                fit_r2=fit.r2,
+            )
+        )
+    return out

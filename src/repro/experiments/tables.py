@@ -1,0 +1,51 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from ..types import ModelError
+
+__all__ = ["format_table", "render_result"]
+
+
+def format_table(header: list[str], rows: list[list], *, precision: int = 4) -> str:
+    """Render a header + numeric rows as an aligned monospace table."""
+    if not header:
+        raise ModelError("header must be non-empty")
+    str_rows = []
+    for row in rows:
+        if len(row) != len(header):
+            raise ModelError(
+                f"row width {len(row)} does not match header width {len(header)}"
+            )
+        str_rows.append([_fmt(v, precision) for v in row])
+    widths = [
+        max(len(header[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(header[j])
+        for j in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in str_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_result(result, *, normalize_by: str | None = None,
+                  metric: str = "makespan", precision: int = 4) -> str:
+    """Render an :class:`ExperimentResult` as a titled table."""
+    header, rows = result.to_rows(normalize_by=normalize_by, metric=metric)
+    norm = f" (normalized by {normalize_by})" if normalize_by else ""
+    title = f"{result.experiment_id}: {result.title}{norm}"
+    return f"{title}\n{format_table(header, rows, precision=precision)}"
+
+
+def _fmt(value, precision: int) -> str:
+    if isinstance(value, str):
+        return value
+    v = float(value)
+    if v == int(v) and abs(v) < 1e6:
+        return str(int(v))
+    if abs(v) >= 1e5 or (v != 0 and abs(v) < 1e-3):
+        return f"{v:.{precision}e}"
+    return f"{v:.{precision}f}"

@@ -1,0 +1,108 @@
+"""Speedup-aware cache allocation (the paper's future work, Section 7).
+
+The dominant-partition heuristics allocate cache with the perfectly
+parallel closed form (Theorem 3), even for Amdahl applications — the
+paper notes this mismatch and leaves speedup-aware allocation open.
+This module closes it with a KKT fixed point.
+
+Derivation.  At the equal-finish solution the makespan ``K`` satisfies
+``g(K, c) = sum_i (1-s_i) / (K/c_i - s_i) = p`` with
+``c_i = w_i (1 + f_i (ls + ll d_i / x_i^alpha))``.  Implicit
+differentiation gives the makespan's sensitivity to a sequential time,
+
+    ``dK/dc_i  =  phi_i / sum_j psi_j``,   where
+    ``phi_i = (1-s_i) K / (c_i^2 (K/c_i - s_i)^2) = K p_i^2 / ((1-s_i) c_i^2)``,
+
+and ``dc_i/dx_i = -alpha w_i f_i ll d_i x_i^-(alpha+1)``.  Minimizing
+``K`` over ``sum x = 1`` therefore equalizes
+``phi_i * w_i f_i d_i * x_i^-(alpha+1)`` across the subset, i.e.
+
+    ``x_i  ~  (phi_i w_i f_i d_i)^(1/(alpha+1))``.
+
+For perfectly parallel applications ``phi_i`` is constant across
+``i`` (``p_i = p c_i / sum c``, so ``phi_i ~ K p^2 / (sum c)^2``) and
+the rule degenerates to Theorem 3 — the extension is a strict
+generalization.  Because ``phi`` depends on ``x`` through ``c`` and
+``K``, we iterate the rule to a fixed point (a handful of iterations
+suffice; each one is a closed-form update plus one binary search).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.application import Workload
+from ..core.dominance import optimal_cache_fractions
+from ..core.execution import sequential_times
+from ..core.heuristics import dominant_partition
+from ..core.platform import Platform
+from ..core.processor_allocation import (
+    build_equal_finish_schedule,
+    equal_finish_allocation,
+)
+from ..core.schedule import Schedule
+from ..types import ModelError
+
+__all__ = ["speedup_aware_fractions", "speedup_aware_schedule"]
+
+
+def speedup_aware_fractions(
+    workload: Workload,
+    platform: Platform,
+    subset,
+    *,
+    max_iter: int = 50,
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """Fixed point of the speedup-aware KKT rule on the mask *subset*.
+
+    Starts from the Theorem-3 fractions and iterates
+    ``x ~ (phi w f d)^(1/(alpha+1))`` (renormalized over the subset)
+    until the fractions stabilize.  Returns the full-length vector.
+    """
+    mask = np.asarray(subset, dtype=bool)
+    if mask.shape != (workload.n,):
+        raise ModelError(f"subset must have shape ({workload.n},)")
+    if not mask.any():
+        return np.zeros(workload.n)
+
+    d = workload.miss_coefficients(platform)
+    base = workload.work * workload.freq * d
+    if float(base[mask].sum()) <= 0:
+        raise ModelError("selected applications cannot profit from cache (w*f*d == 0)")
+    x = optimal_cache_fractions(workload, platform, mask)
+    expo = 1.0 / (platform.alpha + 1.0)
+
+    for _ in range(max_iter):
+        procs, K = equal_finish_allocation(workload, platform, x)
+        c = sequential_times(workload, platform, x)
+        phi = K * procs**2 / np.maximum((1.0 - workload.seq) * c**2, 1e-300)
+        weights = (phi * base) ** expo
+        total = float(weights[mask].sum())
+        if total <= 0:
+            break
+        x_new = np.zeros(workload.n)
+        x_new[mask] = weights[mask] / total
+        if float(np.max(np.abs(x_new - x))) <= tol:
+            x = x_new
+            break
+        x = x_new
+    return x
+
+
+def speedup_aware_schedule(
+    workload: Workload,
+    platform: Platform,
+    rng: np.random.Generator | None = None,
+    *,
+    choice: str = "minratio",
+) -> Schedule:
+    """Full extension heuristic: dominant subset + speedup-aware fractions.
+
+    The subset comes from Algorithm 1 (the dominance structure is a
+    property of the perfectly parallel relaxation either way); the
+    fractions then account for the Amdahl profiles.
+    """
+    mask = dominant_partition(workload, platform, choice, rng)
+    x = speedup_aware_fractions(workload, platform, mask)
+    return build_equal_finish_schedule(workload, platform, x)

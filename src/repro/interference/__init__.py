@@ -1,0 +1,34 @@
+"""Interference-graph co-scheduling (the related-work alternative)."""
+
+from .graph import (
+    access_pressure,
+    corun_degradations,
+    interference_graph,
+    interference_matrix,
+    shared_cache_fractions,
+)
+from .pairwise import PairwiseSchedule, pair_makespan, pairwise_matching_schedule
+
+
+def _register() -> None:
+    from ..core.registry import register, scheduler_names
+
+    if "pairwise-matching" not in scheduler_names():
+        register(
+            "pairwise-matching",
+            lambda wl, pf, rng=None: pairwise_matching_schedule(wl, pf, rng),
+        )
+
+
+_register()
+
+__all__ = [
+    "access_pressure",
+    "shared_cache_fractions",
+    "corun_degradations",
+    "interference_matrix",
+    "interference_graph",
+    "PairwiseSchedule",
+    "pair_makespan",
+    "pairwise_matching_schedule",
+]

@@ -1,0 +1,120 @@
+"""Interference graphs for co-scheduling (the related-work approach).
+
+Section 2 surveys the classic alternative to cache partitioning: build
+a graph whose vertices are applications and whose edge weights capture
+the degradation two applications inflict on each other when co-run on
+an *unpartitioned* cache, then pick co-run groups that avoid heavy
+edges [15, 29, 13].  The paper calls this "interesting but hard to
+implement"; we implement it against the same analytical model so the
+two philosophies can be compared head-to-head
+(:mod:`repro.interference.pairwise`).
+
+Co-run model without partitioning: applications sharing the LLC split
+it in proportion to their access pressure ``w_i * f_i`` (accesses per
+unit work tend to pull cache lines proportionally under LRU — the
+proportional-pressure approximation standard in this literature), so
+application ``i`` co-running with set ``S`` sees an effective fraction
+
+    ``x_i = pressure_i / sum_{j in S} pressure_j``.
+
+The *degradation* of ``i`` is ``Exeseq_i(x_i) / Exeseq_i(1)`` — its
+slowdown relative to owning the whole cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.application import Workload
+from ..core.execution import sequential_times
+from ..core.platform import Platform
+from ..types import ModelError
+
+__all__ = [
+    "access_pressure",
+    "shared_cache_fractions",
+    "corun_degradations",
+    "interference_matrix",
+    "interference_graph",
+]
+
+
+def access_pressure(workload: Workload) -> np.ndarray:
+    """Per-application cache pressure proxy ``w_i * f_i``."""
+    return workload.work * workload.freq
+
+
+def shared_cache_fractions(workload: Workload, members) -> np.ndarray:
+    """Pressure-proportional cache split of the unpartitioned LLC.
+
+    Returns a full-length vector: members of *members* share the cache
+    proportionally to their pressure; everyone else gets 0.
+    """
+    mask = np.asarray(members, dtype=bool)
+    if mask.shape != (workload.n,):
+        raise ModelError(f"members mask must have shape ({workload.n},)")
+    x = np.zeros(workload.n)
+    if not mask.any():
+        return x
+    pressure = access_pressure(workload)
+    total = float(pressure[mask].sum())
+    if total <= 0:
+        # nobody touches memory: the split is irrelevant; share equally
+        x[mask] = 1.0 / int(mask.sum())
+        return x
+    x[mask] = pressure[mask] / total
+    return x
+
+
+def corun_degradations(workload: Workload, platform: Platform, members) -> np.ndarray:
+    """Slowdown of each member when the group shares the LLC freely.
+
+    ``degradation_i = Exeseq_i(x_i^shared) / Exeseq_i(1)`` (>= 1);
+    non-members get 1.0.
+    """
+    mask = np.asarray(members, dtype=bool)
+    x_shared = shared_cache_fractions(workload, mask)
+    alone = sequential_times(workload, platform, np.ones(workload.n))
+    shared = sequential_times(workload, platform, x_shared)
+    out = np.ones(workload.n)
+    out[mask] = shared[mask] / alone[mask]
+    return out
+
+
+def interference_matrix(workload: Workload, platform: Platform) -> np.ndarray:
+    """Pairwise interference weights ``I[i, j]``.
+
+    ``I[i, j]`` is the *total relative slowdown* when ``i`` and ``j``
+    co-run sharing the cache: ``(deg_i - 1) + (deg_j - 1)``.  Symmetric,
+    zero diagonal.
+    """
+    n = workload.n
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            mask = np.zeros(n, dtype=bool)
+            mask[[i, j]] = True
+            deg = corun_degradations(workload, platform, mask)
+            w = float((deg[i] - 1.0) + (deg[j] - 1.0))
+            out[i, j] = out[j, i] = w
+    return out
+
+
+def interference_graph(workload: Workload, platform: Platform):
+    """The interference matrix as a ``networkx.Graph``.
+
+    Node ``i`` carries the application name; edge ``(i, j)`` carries
+    ``weight = I[i, j]``.  Exposed for the matching-based scheduler and
+    for users who want to run their own graph algorithms.
+    """
+    import networkx as nx
+
+    matrix = interference_matrix(workload, platform)
+    graph = nx.Graph()
+    for i, name in enumerate(workload.names):
+        graph.add_node(i, name=name)
+    n = workload.n
+    for i in range(n):
+        for j in range(i + 1, n):
+            graph.add_edge(i, j, weight=float(matrix[i, j]))
+    return graph

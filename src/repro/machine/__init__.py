@@ -1,0 +1,12 @@
+"""Platform presets (TaihuLight-like node, Xeon E5-2690, 1 GB LLC)."""
+
+from .presets import PRESETS, custom, get_preset, small_llc, taihulight, xeon_e5_2690
+
+__all__ = [
+    "taihulight",
+    "xeon_e5_2690",
+    "small_llc",
+    "custom",
+    "PRESETS",
+    "get_preset",
+]

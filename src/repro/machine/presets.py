@@ -1,0 +1,78 @@
+"""Named platform presets used by the paper's evaluation.
+
+* :func:`taihulight` — the Section 6.1 simulation platform: one Sunway
+  TaihuLight manycore node viewed as 256 processors sharing a 32 GB
+  "LLC" (its shared memory, with disk as the large storage), latencies
+  ``ls = 0.17`` / ``ll = 1``, power-law ``alpha = 0.5``.
+* :func:`xeon_e5_2690` — the Intel Xeon E5-2690 cache configuration the
+  miss rates were measured against (20 MB LLC per 8-core processor);
+  useful for small-scale studies and for the cachesim validation.
+* :func:`small_llc` — the 1 GB-LLC variant of Figs. 2 and 18.
+"""
+
+from __future__ import annotations
+
+from ..core.platform import Platform
+
+__all__ = ["taihulight", "xeon_e5_2690", "small_llc", "custom", "PRESETS", "get_preset"]
+
+
+def taihulight(*, p: float = 256.0, alpha: float = 0.5) -> Platform:
+    """Section 6.1 main platform: 256 processors, 32 GB shared cache."""
+    return Platform(
+        p=p,
+        cache_size=32000e6,
+        latency_cache=0.17,
+        latency_memory=1.0,
+        alpha=alpha,
+        name="taihulight",
+    )
+
+
+def xeon_e5_2690(*, sockets: int = 1, alpha: float = 0.5) -> Platform:
+    """Intel Xeon E5-2690-like node: 8 cores + 20 MB LLC per socket."""
+    if sockets < 1:
+        raise ValueError(f"sockets must be >= 1, got {sockets}")
+    return Platform(
+        p=8.0 * sockets,
+        cache_size=20e6 * sockets,
+        latency_cache=0.17,
+        latency_memory=1.0,
+        alpha=alpha,
+        name=f"xeon-e5-2690x{sockets}",
+    )
+
+
+def small_llc(*, p: float = 256.0, alpha: float = 0.5) -> Platform:
+    """The 1 GB-LLC platform of the miss-rate sweeps (Figs. 2, 18)."""
+    return Platform(
+        p=p,
+        cache_size=1e9,
+        latency_cache=0.17,
+        latency_memory=1.0,
+        alpha=alpha,
+        name="small-llc-1gb",
+    )
+
+
+def custom(p: float, cache_size: float, **kwargs) -> Platform:
+    """Free-form platform with the paper's default latencies/alpha."""
+    return Platform(p=p, cache_size=cache_size, **kwargs)
+
+
+PRESETS = {
+    "taihulight": taihulight,
+    "xeon-e5-2690": xeon_e5_2690,
+    "small-llc": small_llc,
+}
+
+
+def get_preset(name: str, **kwargs) -> Platform:
+    """Build a preset platform by name (see :data:`PRESETS`)."""
+    try:
+        factory = PRESETS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform preset {name!r}; known: {', '.join(PRESETS)}"
+        ) from None
+    return factory(**kwargs)

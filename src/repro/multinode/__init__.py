@@ -1,0 +1,24 @@
+"""Multi-node extension: clusters of cache-partitioned nodes.
+
+Scales the paper's single-node co-scheduling out to ``k`` identical
+nodes: assign applications to nodes (LPT and refined variants), then
+co-schedule each node with the dominant-partition machinery.
+"""
+
+from .assignment import (
+    ClusterSchedule,
+    exhaustive_assignment,
+    lpt_assignment,
+    lpt_refined_assignment,
+    round_robin_assignment,
+    schedule_cluster,
+)
+
+__all__ = [
+    "ClusterSchedule",
+    "round_robin_assignment",
+    "lpt_assignment",
+    "lpt_refined_assignment",
+    "exhaustive_assignment",
+    "schedule_cluster",
+]

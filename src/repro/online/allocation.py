@@ -1,0 +1,113 @@
+"""Equal-finish allocation over *remaining* work.
+
+The offline solver of :mod:`repro.core.processor_allocation` prices
+whole applications; an online scheduler reallocates mid-flight, when
+each application has some sequential and parallel operations left.
+With a cache fraction fixing the access factor ``factor_i`` (Eq. 2's
+per-operation cost), the time for application ``i`` to finish on
+``p_i`` processors is
+
+    ``t_i = factor_i * (seq_left_i + par_left_i / p_i)``,
+
+so the equal-finish horizon ``K`` solves
+
+    ``sum_i par_left_i * factor_i / (K - seq_left_i * factor_i) = p``
+
+(strictly decreasing in ``K`` past the singularities) and
+``p_i = par_left_i * factor_i / (K - seq_left_i * factor_i)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import ModelError, SolverError
+
+__all__ = ["remaining_equal_finish"]
+
+_EPS_PROC = 1e-9
+
+
+def remaining_equal_finish(
+    seq_ops,
+    par_ops,
+    factors,
+    p: float,
+    *,
+    xtol: float = 1e-12,
+) -> tuple[np.ndarray, float]:
+    """Processors equalizing the finish of partially executed apps.
+
+    Parameters
+    ----------
+    seq_ops, par_ops : array_like
+        Remaining sequential / parallel operations (>= 0; at least one
+        of the two positive per application).
+    factors : array_like
+        Per-operation access-cost factors (> 0).
+    p : float
+        Processors available.
+
+    Returns
+    -------
+    (procs, horizon)
+        Positive allocations summing to <= p and the common remaining
+        time ``K`` (relative to now).
+    """
+    seq = np.asarray(seq_ops, dtype=np.float64)
+    par = np.asarray(par_ops, dtype=np.float64)
+    fac = np.asarray(factors, dtype=np.float64)
+    if not (seq.shape == par.shape == fac.shape) or seq.ndim != 1 or seq.size == 0:
+        raise ModelError("seq_ops, par_ops, factors must be equal-length 1-D arrays")
+    if np.any(seq < 0) or np.any(par < 0) or np.any(fac <= 0):
+        raise ModelError("remaining ops must be >= 0 and factors > 0")
+    if np.any((seq == 0) & (par == 0)):
+        raise ModelError("finished applications must be removed before reallocating")
+    if p <= 0:
+        raise ModelError(f"p must be positive, got {p}")
+
+    seq_time = seq * fac          # time of the remaining sequential part
+    par_work = par * fac          # processor-time of the parallel part
+
+    if np.all(par_work == 0):
+        # Only sequential tails left: processors are irrelevant.
+        procs = np.full(seq.size, _EPS_PROC)
+        return procs, float(seq_time.max())
+
+    def demand(K: float) -> float:
+        denom = K - seq_time
+        if np.any(denom <= 0):
+            return np.inf
+        with np.errstate(divide="ignore"):
+            return float(np.where(par_work > 0, par_work / denom, 0.0).sum())
+
+    lo = float((seq_time + par_work / p).max())
+    g_lo = demand(lo)
+    if g_lo <= p:
+        K = lo
+    else:
+        hi = float((seq_time + par_work).max())
+        if hi <= lo:
+            hi = lo * (1 + 1e-9) + 1e-300
+        expansions = 0
+        while demand(hi) > p:
+            hi *= 2.0
+            expansions += 1
+            if expansions > 200:
+                raise SolverError("could not bracket the online horizon")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if demand(mid) > p:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= xtol * max(1.0, lo):
+                break
+        K = 0.5 * (lo + hi)
+
+    denom = np.maximum(K - seq_time, 1e-300)
+    procs = np.maximum(par_work / denom, _EPS_PROC)
+    total = procs.sum()
+    if total > p:
+        procs *= p / total
+    return procs, float(K)

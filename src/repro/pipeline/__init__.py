@@ -1,0 +1,19 @@
+"""Periodic in-situ pipeline analysis and batch-queue simulation."""
+
+from .periodic import (
+    is_feasible,
+    min_sustainable_period,
+    required_processors,
+    utilization,
+)
+from .queueing import PipelineStats, jittered_arrivals, simulate_batch_queue
+
+__all__ = [
+    "min_sustainable_period",
+    "is_feasible",
+    "utilization",
+    "required_processors",
+    "PipelineStats",
+    "jittered_arrivals",
+    "simulate_batch_queue",
+]

@@ -1,0 +1,142 @@
+"""Periodic in-situ analysis: the paper's motivating workload shape.
+
+Section 1 motivates co-scheduling with in-situ pipelines (HACC-style):
+a simulation emits a data batch every *period*; a dedicated analysis
+node must co-schedule a fixed set of analysis kernels over each batch
+and finish before the next batch lands.  The connection to the paper's
+objective is direct — the makespan of the co-schedule is the **minimum
+sustainable period** — and this module packages it:
+
+* :func:`min_sustainable_period` — the makespan under a chosen
+  strategy, i.e. the highest ingest rate the node can keep up with;
+* :func:`is_feasible` / :func:`utilization` — deadline checks for a
+  given period;
+* :func:`required_processors` — invert the question: the smallest
+  processor count meeting a target period (monotone bisection on the
+  equal-finish model).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.application import Workload
+from ..core.platform import Platform
+from ..core.registry import get_scheduler
+from ..core.schedule import BaseSchedule
+from ..types import ModelError, SolverError
+
+__all__ = [
+    "min_sustainable_period",
+    "is_feasible",
+    "utilization",
+    "required_processors",
+]
+
+SchedulerLike = Callable[[Workload, Platform, Optional[np.random.Generator]], BaseSchedule]
+
+
+def _resolve(scheduler: str | SchedulerLike) -> SchedulerLike:
+    if isinstance(scheduler, str):
+        return get_scheduler(scheduler)
+    return scheduler
+
+
+def min_sustainable_period(
+    workload: Workload,
+    platform: Platform,
+    *,
+    scheduler: str | SchedulerLike = "dominant-minratio",
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Shortest batch period the node sustains under *scheduler*.
+
+    Equals the co-schedule's makespan: each batch's kernels start
+    together when the batch lands and must all finish within the
+    period.
+    """
+    return _resolve(scheduler)(workload, platform, rng).makespan()
+
+
+def is_feasible(
+    period: float,
+    workload: Workload,
+    platform: Platform,
+    *,
+    scheduler: str | SchedulerLike = "dominant-minratio",
+    rng: np.random.Generator | None = None,
+) -> bool:
+    """Whether every kernel finishes within *period*."""
+    if period <= 0:
+        raise ModelError(f"period must be positive, got {period}")
+    return min_sustainable_period(
+        workload, platform, scheduler=scheduler, rng=rng
+    ) <= period
+
+
+def utilization(
+    period: float,
+    workload: Workload,
+    platform: Platform,
+    *,
+    scheduler: str | SchedulerLike = "dominant-minratio",
+    rng: np.random.Generator | None = None,
+) -> float:
+    """``makespan / period`` — > 1 means the pipeline falls behind."""
+    if period <= 0:
+        raise ModelError(f"period must be positive, got {period}")
+    return min_sustainable_period(
+        workload, platform, scheduler=scheduler, rng=rng
+    ) / period
+
+
+def required_processors(
+    period: float,
+    workload: Workload,
+    platform: Platform,
+    *,
+    scheduler: str | SchedulerLike = "dominant-minratio",
+    rng: np.random.Generator | None = None,
+    p_max: float = 1e6,
+    rtol: float = 1e-6,
+) -> float:
+    """Smallest processor count sustaining *period* (other platform
+    parameters fixed).
+
+    The makespan is non-increasing in ``p`` for every registered
+    strategy, so a bisection applies.  Raises :class:`SolverError` when
+    even ``p_max`` processors cannot meet the period (the sequential
+    fractions bound the makespan from below).
+    """
+    if period <= 0:
+        raise ModelError(f"period must be positive, got {period}")
+    sched = _resolve(scheduler)
+
+    def span(p: float) -> float:
+        return sched(workload, platform.with_processors(p), rng).makespan()
+
+    lo, hi = 1e-6, float(platform.p)
+    if span(hi) > period:
+        while span(hi) > period:
+            hi *= 2.0
+            if hi > p_max:
+                raise SolverError(
+                    f"period {period:g} unreachable even with {p_max:g} processors "
+                    "(sequential fractions bound the makespan)"
+                )
+        lo = hi / 2.0
+    # shrink lo until infeasible (so the bracket is [infeasible, feasible])
+    while span(lo) <= period and lo > 1e-9:
+        hi = lo
+        lo /= 2.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if span(mid) <= period:
+            hi = mid
+        else:
+            lo = mid
+        if (hi - lo) <= rtol * hi:
+            break
+    return hi

@@ -1,0 +1,160 @@
+"""Batch-queue simulation for in-situ pipelines.
+
+The analytic condition "makespan <= period" assumes perfectly regular
+arrivals and identical batches.  Real pipelines jitter: batch sizes
+vary (so do processing makespans) and the buffer in front of the
+analysis node is finite — late batches queue up and, past the buffer
+capacity, are dropped (exactly the data loss the in-situ approach is
+supposed to avoid).  This module simulates that queue:
+
+* one analysis node processes batches FIFO, one at a time, each for
+  its own makespan;
+* batches arrive at given instants; a batch arriving when the buffer
+  (queue excluding the batch in service) is full is dropped;
+* the simulation reports throughput, drops, queue depth, and latency
+  (arrival -> completion).
+
+Use :func:`jittered_arrivals` / per-batch makespans from any source
+(e.g. re-running a scheduler over randomly drawn batch workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import ModelError
+
+__all__ = ["PipelineStats", "simulate_batch_queue", "jittered_arrivals"]
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """Outcome of a batch-queue simulation.
+
+    Attributes
+    ----------
+    completed, dropped : int
+        Batch counts.
+    latencies : numpy.ndarray
+        Arrival-to-completion time of each completed batch.
+    max_queue_depth : int
+        Largest number of batches waiting (excluding the one in
+        service).
+    makespan : float
+        Completion instant of the last processed batch.
+    """
+
+    completed: int
+    dropped: int
+    latencies: np.ndarray
+    max_queue_depth: int
+    makespan: float
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.completed + self.dropped
+        return self.dropped / total if total else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self.latencies.mean()) if self.latencies.size else 0.0
+
+    @property
+    def p99_latency(self) -> float:
+        if self.latencies.size == 0:
+            return 0.0
+        return float(np.quantile(self.latencies, 0.99))
+
+
+def jittered_arrivals(
+    n_batches: int,
+    period: float,
+    rng: np.random.Generator,
+    *,
+    jitter: float = 0.0,
+) -> np.ndarray:
+    """Arrival instants ``k * period + U(-jitter, jitter) * period``.
+
+    Jitter is clamped so arrivals stay ordered and nonnegative.
+    """
+    if n_batches < 1:
+        raise ModelError(f"need at least one batch, got {n_batches}")
+    if period <= 0:
+        raise ModelError(f"period must be positive, got {period}")
+    if not 0 <= jitter < 0.5:
+        raise ModelError(f"jitter must be in [0, 0.5), got {jitter}")
+    base = np.arange(n_batches, dtype=np.float64) * period
+    if jitter > 0:
+        base = base + rng.uniform(-jitter, jitter, size=n_batches) * period
+        base = np.maximum.accumulate(np.maximum(base, 0.0))
+    return base
+
+
+def simulate_batch_queue(
+    arrivals,
+    service_times,
+    *,
+    buffer_capacity: int | None = None,
+) -> PipelineStats:
+    """FIFO single-server queue with optional finite buffer.
+
+    Parameters
+    ----------
+    arrivals : array_like
+        Nondecreasing arrival instants, one per batch.
+    service_times : array_like
+        Processing makespan of each batch (same length).
+    buffer_capacity : int, optional
+        Maximum batches *waiting* (the batch in service does not
+        count).  ``None`` = infinite buffer.
+
+    Notes
+    -----
+    With nondecreasing arrivals the FIFO queue has a closed recurrence:
+    ``start_k = max(arrival_k, finish_{k-1})``.  Drops are decided at
+    arrival time by counting batches still queued (admitted batches
+    whose service has not started).
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    service = np.asarray(service_times, dtype=np.float64)
+    if arrivals.shape != service.shape or arrivals.ndim != 1:
+        raise ModelError("arrivals and service_times must be equal-length 1-D arrays")
+    if arrivals.size == 0:
+        raise ModelError("need at least one batch")
+    if np.any(np.diff(arrivals) < 0):
+        raise ModelError("arrivals must be nondecreasing")
+    if np.any(service <= 0):
+        raise ModelError("service times must be positive")
+    if buffer_capacity is not None and buffer_capacity < 0:
+        raise ModelError("buffer_capacity must be >= 0")
+
+    admitted_starts: list[float] = []   # service start of each admitted batch
+    admitted_finishes: list[float] = []
+    latencies: list[float] = []
+    dropped = 0
+    max_depth = 0
+    server_free_at = 0.0
+
+    for arr, svc in zip(arrivals, service):
+        # queue depth at this arrival: admitted batches not yet started
+        depth = sum(1 for s in admitted_starts if s > arr)
+        max_depth = max(max_depth, depth)
+        if buffer_capacity is not None and depth >= buffer_capacity and server_free_at > arr:
+            dropped += 1
+            continue
+        start = max(arr, server_free_at)
+        finish = start + svc
+        admitted_starts.append(start)
+        admitted_finishes.append(finish)
+        latencies.append(finish - arr)
+        server_free_at = finish
+
+    return PipelineStats(
+        completed=len(admitted_finishes),
+        dropped=dropped,
+        latencies=np.asarray(latencies),
+        max_queue_depth=max_depth,
+        makespan=float(admitted_finishes[-1]) if admitted_finishes else 0.0,
+    )

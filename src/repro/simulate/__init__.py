@@ -1,0 +1,12 @@
+"""Discrete-event co-execution engine and model validation."""
+
+from .engine import SimulationResult, simulate_schedule
+from .validation import ValidationReport, validate_schedule, work_conserving_gain
+
+__all__ = [
+    "SimulationResult",
+    "simulate_schedule",
+    "ValidationReport",
+    "validate_schedule",
+    "work_conserving_gain",
+]

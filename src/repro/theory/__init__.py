@@ -1,0 +1,37 @@
+"""Theory layer: NP-completeness reduction, optimality lemmas, exact solvers."""
+
+from .exact import ExactResult, best_subset_schedule, exact_optimal_schedule, iter_subsets
+from .knapsack import KnapsackInstance, decide, solve_bruteforce, solve_dp
+from .perfectly_parallel import (
+    equalize_finish_times,
+    improve_non_dominant,
+    iterate_to_dominant,
+    lemma2_schedule,
+)
+from .reduction import (
+    ReducedInstance,
+    certificate_to_fractions,
+    decide_reduced,
+    fractions_to_certificate,
+    reduce_knapsack,
+)
+
+__all__ = [
+    "KnapsackInstance",
+    "solve_dp",
+    "solve_bruteforce",
+    "decide",
+    "ReducedInstance",
+    "reduce_knapsack",
+    "decide_reduced",
+    "certificate_to_fractions",
+    "fractions_to_certificate",
+    "equalize_finish_times",
+    "lemma2_schedule",
+    "improve_non_dominant",
+    "iterate_to_dominant",
+    "ExactResult",
+    "exact_optimal_schedule",
+    "best_subset_schedule",
+    "iter_subsets",
+]

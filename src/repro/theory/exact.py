@@ -1,0 +1,124 @@
+"""Exact solvers by exhaustive subset enumeration (ground truth).
+
+For perfectly parallel applications with infinite footprints, the
+global optimum of CoSchedCache is the best, over all subsets ``IC``,
+of the subset's Theorem-3 solution (Lemmas 3-4, Theorems 2-3): every
+subset's closed form is a feasible solution, and some dominant subset's
+closed form attains the optimum.  Enumerating the ``2^n`` subsets is
+therefore an *exact* algorithm — exponential, but fine for the n <= 16
+instances used to measure heuristic optimality gaps.
+
+For general Amdahl applications no optimality structure is known (the
+paper's Section 5 opens exactly this gap); :func:`best_subset_schedule`
+then returns the best schedule *within the dominant-heuristic family*
+(Theorem-3 fractions + equal-finish processors over all subsets),
+which upper-bounds the heuristics' achievable quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.application import Workload
+from ..core.dominance import is_dominant, optimal_cache_fractions
+from ..core.platform import Platform
+from ..core.processor_allocation import build_equal_finish_schedule
+from ..core.schedule import Schedule
+from ..types import ModelError
+
+__all__ = ["ExactResult", "exact_optimal_schedule", "best_subset_schedule", "iter_subsets"]
+
+_MAX_EXACT_N = 20
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Outcome of a subset-enumeration solve.
+
+    Attributes
+    ----------
+    schedule : Schedule
+        The best schedule found.
+    subset : numpy.ndarray
+        Boolean mask of the winning cache subset.
+    makespan : float
+        Its makespan.
+    dominant : bool
+        Whether the winning subset is dominant (it always is for
+        perfectly parallel workloads, by Theorem 2).
+    evaluated : int
+        Number of subsets evaluated.
+    """
+
+    schedule: Schedule
+    subset: np.ndarray
+    makespan: float
+    dominant: bool
+    evaluated: int
+
+
+def iter_subsets(n: int):
+    """Yield all ``2^n`` boolean masks of length *n* (including empty)."""
+    if n > _MAX_EXACT_N:
+        raise ModelError(f"subset enumeration limited to n <= {_MAX_EXACT_N}, got {n}")
+    idx = np.arange(n)
+    for bits in range(1 << n):
+        yield (bits >> idx & 1).astype(bool)
+
+
+def exact_optimal_schedule(workload: Workload, platform: Platform) -> ExactResult:
+    """Globally optimal schedule for a perfectly parallel workload.
+
+    Requires ``s_i = 0`` for all applications and infinite footprints
+    (the Section 4.2 setting where the subset-enumeration argument is a
+    proof of optimality).
+    """
+    if not workload.is_perfectly_parallel:
+        raise ModelError(
+            "exact_optimal_schedule requires perfectly parallel applications; "
+            "use best_subset_schedule for Amdahl workloads"
+        )
+    if np.any(np.isfinite(workload.footprint)):
+        raise ModelError(
+            "exact_optimal_schedule requires infinite footprints "
+            "(the Section 4.2 assumption)"
+        )
+    return best_subset_schedule(workload, platform)
+
+
+def best_subset_schedule(workload: Workload, platform: Platform) -> ExactResult:
+    """Best schedule over all cache subsets (Theorem-3 + equal-finish).
+
+    Exact for the perfectly parallel infinite-footprint case; the best
+    achievable point of the heuristic design space otherwise.
+    """
+    n = workload.n
+    best_mask: np.ndarray | None = None
+    best_span = np.inf
+    best_sched: Schedule | None = None
+    evaluated = 0
+    for mask in iter_subsets(n):
+        if mask.any():
+            try:
+                x = optimal_cache_fractions(workload, platform, mask)
+            except ModelError:
+                continue  # subset of zero-weight apps: cannot hold cache
+        else:
+            x = np.zeros(n)
+        sched = build_equal_finish_schedule(workload, platform, x)
+        evaluated += 1
+        span = sched.makespan()
+        if span < best_span:
+            best_span = span
+            best_mask = mask.copy()
+            best_sched = sched
+    assert best_sched is not None and best_mask is not None
+    return ExactResult(
+        schedule=best_sched,
+        subset=best_mask,
+        makespan=best_span,
+        dominant=is_dominant(workload, platform, best_mask),
+        evaluated=evaluated,
+    )

@@ -1,0 +1,131 @@
+"""Knapsack instances and exact solvers.
+
+The NP-completeness proof of Theorem 1 reduces from the decision
+version of Knapsack: given items with integer sizes ``u_i`` and values
+``v_i`` and bounds ``U`` (capacity) and ``V`` (target value), is there
+a subset with total size <= U and total value >= V?
+
+This module provides the instance type plus two exact solvers — a
+dynamic program over capacities (pseudo-polynomial, the textbook
+algorithm) and a brute-force enumeration used to cross-check the DP in
+tests — so the reduction of :mod:`repro.theory.reduction` can be
+verified end-to-end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import ModelError
+
+__all__ = ["KnapsackInstance", "solve_dp", "solve_bruteforce", "decide"]
+
+
+@dataclass(frozen=True, slots=True)
+class KnapsackInstance:
+    """A 0/1 knapsack decision instance.
+
+    Parameters
+    ----------
+    sizes : tuple[int, ...]
+        Positive integer item sizes ``u_i``.
+    values : tuple[int, ...]
+        Positive integer item values ``v_i``.
+    capacity : int
+        Bound ``U`` on the total size.
+    target : int
+        Bound ``V`` on the total value (decision threshold).
+    """
+
+    sizes: tuple[int, ...]
+    values: tuple[int, ...]
+    capacity: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.values):
+            raise ModelError("sizes and values must have the same length")
+        if not self.sizes:
+            raise ModelError("a knapsack instance needs at least one item")
+        if any(u <= 0 or not isinstance(u, (int, np.integer)) for u in self.sizes):
+            raise ModelError("sizes must be positive integers")
+        if any(v <= 0 or not isinstance(v, (int, np.integer)) for v in self.values):
+            raise ModelError("values must be positive integers")
+        if self.capacity <= 0 or self.target <= 0:
+            raise ModelError("capacity and target must be positive integers")
+
+    @property
+    def n(self) -> int:
+        """Number of items."""
+        return len(self.sizes)
+
+    def evaluate(self, subset) -> tuple[int, int]:
+        """Total (size, value) of an iterable of item indices."""
+        idx = list(subset)
+        total_u = sum(self.sizes[i] for i in idx)
+        total_v = sum(self.values[i] for i in idx)
+        return total_u, total_v
+
+    def is_yes_certificate(self, subset) -> bool:
+        """Whether *subset* witnesses a YES answer."""
+        total_u, total_v = self.evaluate(subset)
+        return total_u <= self.capacity and total_v >= self.target
+
+
+def solve_dp(instance: KnapsackInstance) -> tuple[int, frozenset[int]]:
+    """Maximum achievable value within capacity, with a witness subset.
+
+    Standard ``O(n * U)`` dynamic program, vectorized over capacities:
+    ``best[c]`` is the maximum value achievable with total size <= c.
+    A parent table reconstructs one optimal subset.
+    """
+    U = instance.capacity
+    n = instance.n
+    best = np.zeros(U + 1, dtype=np.int64)
+    taken = np.zeros((n, U + 1), dtype=bool)
+    for i in range(n):
+        u, v = instance.sizes[i], instance.values[i]
+        if u > U:
+            continue
+        candidate = best[: U - u + 1] + v
+        improved = candidate > best[u:]
+        taken[i, u:] = improved
+        best[u:] = np.where(improved, candidate, best[u:])
+    # Reconstruct: walk items backwards from capacity U.
+    chosen: set[int] = set()
+    c = U
+    for i in range(n - 1, -1, -1):
+        if taken[i, c]:
+            chosen.add(i)
+            c -= instance.sizes[i]
+    return int(best[U]), frozenset(chosen)
+
+
+def solve_bruteforce(instance: KnapsackInstance) -> tuple[int, frozenset[int]]:
+    """Exhaustive enumeration (for cross-checking; ``n <= 20`` advised)."""
+    if instance.n > 24:
+        raise ModelError(f"brute force limited to 24 items, got {instance.n}")
+    best_value = 0
+    best_subset: frozenset[int] = frozenset()
+    items = range(instance.n)
+    for r in range(instance.n + 1):
+        for combo in itertools.combinations(items, r):
+            total_u, total_v = instance.evaluate(combo)
+            if total_u <= instance.capacity and total_v > best_value:
+                best_value = total_v
+                best_subset = frozenset(combo)
+    return best_value, best_subset
+
+
+def decide(instance: KnapsackInstance, *, method: str = "dp") -> tuple[bool, frozenset[int]]:
+    """Decide the instance; returns ``(answer, witness-or-best subset)``."""
+    if method == "dp":
+        value, subset = solve_dp(instance)
+    elif method == "bruteforce":
+        value, subset = solve_bruteforce(instance)
+    else:
+        raise ModelError(f"unknown method {method!r}")
+    return value >= instance.target, subset

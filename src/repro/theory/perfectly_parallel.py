@@ -1,0 +1,120 @@
+"""Optimality theory for perfectly parallel applications (Section 4).
+
+Executable versions of the paper's structural results:
+
+* :func:`equalize_finish_times` — the exchange argument of Lemma 1:
+  given any schedule, shift processors from early finishers to the
+  critical application; the makespan never increases.
+* :func:`lemma2_schedule` — the closed-form optimal processors for a
+  given cache partition, with the Lemma 3 makespan.
+* :func:`improve_non_dominant` — the constructive step of Theorem 2:
+  evict one dominance-violating application (folding its fraction into
+  a surviving one) and recompute; the makespan strictly decreases.
+* :func:`iterate_to_dominant` — repeat until dominant; terminates in at
+  most ``n`` steps since each eviction shrinks ``IC``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.application import Workload
+from ..core.dominance import (
+    is_dominant,
+    optimal_cache_fractions,
+    violating_applications,
+)
+from ..core.execution import sequential_times
+from ..core.platform import Platform
+from ..core.processor_allocation import (
+    lemma2_processor_allocation,
+    perfectly_parallel_makespan,
+)
+from ..core.schedule import Schedule
+from ..types import ModelError
+
+__all__ = [
+    "equalize_finish_times",
+    "lemma2_schedule",
+    "improve_non_dominant",
+    "iterate_to_dominant",
+]
+
+
+def _require_perfectly_parallel(workload: Workload) -> None:
+    if not workload.is_perfectly_parallel:
+        raise ModelError("this result requires perfectly parallel applications (s = 0)")
+
+
+def equalize_finish_times(schedule: Schedule) -> Schedule:
+    """Lemma 1's exchange argument, applied to a fixed cache partition.
+
+    Keeps the cache fractions and the total processor count of the
+    input schedule but redistributes the processors proportionally to
+    the sequential times (the fixed point of the pairwise exchange of
+    the proof).  For perfectly parallel applications the result has
+    equal finish times and a makespan no larger than the input's.
+    """
+    _require_perfectly_parallel(schedule.workload)
+    c = sequential_times(schedule.workload, schedule.platform, schedule.cache)
+    total_p = float(schedule.procs.sum())
+    procs = total_p * c / c.sum()
+    return Schedule(schedule.workload, schedule.platform, procs, schedule.cache)
+
+
+def lemma2_schedule(workload: Workload, platform: Platform, cache_fractions) -> Schedule:
+    """The optimal schedule for a fixed cache partition (Lemmas 1-3)."""
+    _require_perfectly_parallel(workload)
+    procs = lemma2_processor_allocation(workload, platform, cache_fractions)
+    return Schedule(workload, platform, procs, cache_fractions)
+
+
+def improve_non_dominant(
+    workload: Workload,
+    platform: Platform,
+    subset,
+    *,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """One eviction step of Theorem 2.
+
+    Given a non-dominant subset mask, remove one violating application
+    (the first, or a random one when *rng* is given) and return the new
+    mask.  Raises if the subset is already dominant.
+    """
+    mask = np.asarray(subset, dtype=bool).copy()
+    bad = violating_applications(workload, platform, mask)
+    if bad.size == 0:
+        raise ModelError("subset is already dominant; nothing to improve")
+    k = int(bad[0] if rng is None else rng.choice(bad))
+    mask[k] = False
+    return mask
+
+
+def iterate_to_dominant(
+    workload: Workload,
+    platform: Platform,
+    subset,
+    *,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, list[float]]:
+    """Apply Theorem 2 until the subset is dominant.
+
+    Returns the final mask and the trajectory of Lemma-3 makespans
+    (evaluated with Theorem-3 fractions at each step).  The trajectory
+    is non-increasing for perfectly parallel workloads — the property
+    the tests assert.
+    """
+    _require_perfectly_parallel(workload)
+    mask = np.asarray(subset, dtype=bool).copy()
+    trajectory: list[float] = []
+
+    def span(m) -> float:
+        x = optimal_cache_fractions(workload, platform, m) if m.any() else np.zeros(workload.n)
+        return perfectly_parallel_makespan(workload, platform, x)
+
+    trajectory.append(span(mask))
+    while mask.any() and not is_dominant(workload, platform, mask):
+        mask = improve_non_dominant(workload, platform, mask, rng=rng)
+        trajectory.append(span(mask))
+    return mask, trajectory

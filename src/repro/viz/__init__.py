@@ -1,0 +1,5 @@
+"""Terminal visualisation helpers (ASCII plots)."""
+
+from .ascii_plot import ascii_plot, plot_result
+
+__all__ = ["ascii_plot", "plot_result"]

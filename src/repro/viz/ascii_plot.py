@@ -1,0 +1,95 @@
+"""Terminal line plots (matplotlib is unavailable in this environment).
+
+Renders multiple series on a character grid with distinct glyphs and a
+legend; good enough to see crossovers, plateaus, and ranking — the
+properties the paper's figures convey.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import ModelError
+
+__all__ = ["ascii_plot", "plot_result"]
+
+_GLYPHS = "ox+*#@%&sd"
+
+
+def ascii_plot(
+    x,
+    series: dict[str, np.ndarray],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    logx: bool = False,
+) -> str:
+    """Render ``{label: y-values}`` against *x* on a character canvas."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ModelError("x must be a non-empty 1-D array")
+    if not series:
+        raise ModelError("need at least one series")
+    if len(series) > len(_GLYPHS):
+        raise ModelError(f"at most {len(_GLYPHS)} series supported")
+    for label, y in series.items():
+        if np.asarray(y).shape != x.shape:
+            raise ModelError(f"series {label!r} length does not match x")
+
+    if logx and np.any(x <= 0):
+        raise ModelError("logx requires positive x values")
+    xs = np.log10(x) if logx else x
+    ys = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    finite = np.isfinite(ys)
+    if not finite.any():
+        raise ModelError("no finite y values to plot")
+    ymin, ymax = float(ys[finite].min()), float(ys[finite].max())
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = float(xs.min()), float(xs.max())
+    if xmax == xmin:
+        xmax = xmin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (label, y) in zip(_GLYPHS, series.items()):
+        yv = np.asarray(y, dtype=np.float64)
+        for xi, yi in zip(xs, yv):
+            if not np.isfinite(yi):
+                continue
+            col = int(round((xi - xmin) / (xmax - xmin) * (width - 1)))
+            row = int(round((yi - ymin) / (ymax - ymin) * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    left_labels = [f"{ymax:10.3g} ", *([" " * 11] * (height - 2)), f"{ymin:10.3g} "]
+    lines = []
+    if title:
+        lines.append(title)
+    for lbl, row in zip(left_labels, grid):
+        lines.append(lbl + "|" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    xl = f"{'log10 ' if logx else ''}{xlabel}".strip()
+    xaxis = f"{xmin:.3g}".ljust(width // 2) + f"{xmax:.3g}".rjust(width // 2)
+    lines.append(" " * 12 + xaxis + (f"   [{xl}]" if xl else ""))
+    legend = "  ".join(f"{g}={label}" for g, label in zip(_GLYPHS, series))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def plot_result(result, *, normalize_by: str | None = None,
+                metric: str = "makespan", logx: bool = False, **kwargs) -> str:
+    """ASCII plot of an :class:`ExperimentResult`'s series."""
+    if normalize_by is not None:
+        series = result.normalized(normalize_by, metric)
+    else:
+        series = {name: result.mean(name, metric) for name in result.data
+                  if metric in result.data[name]}
+    return ascii_plot(
+        result.x,
+        series,
+        title=f"{result.experiment_id}: {result.title}",
+        xlabel=result.xlabel,
+        logx=logx,
+        **kwargs,
+    )

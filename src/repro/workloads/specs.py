@@ -1,0 +1,114 @@
+"""JSON (de)serialization of workloads and platforms.
+
+A *spec* file is a JSON document holding a platform and a list of
+applications, so experiments can be pinned to disk and re-run:
+
+.. code-block:: json
+
+    {
+      "platform": {"p": 256, "cache_size": 3.2e10, "latency_cache": 0.17,
+                   "latency_memory": 1.0, "alpha": 0.5, "name": "taihulight"},
+      "applications": [
+        {"name": "CG", "work": 5.7e10, "seq_fraction": 0.0,
+         "access_freq": 0.535, "miss_rate": 6.59e-4,
+         "footprint": null, "baseline_cache": 4.0e7}
+      ]
+    }
+
+``footprint: null`` encodes an infinite footprint.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from ..core.application import Application, Workload
+from ..core.platform import Platform
+from ..types import ModelError
+
+__all__ = [
+    "application_to_dict",
+    "application_from_dict",
+    "platform_to_dict",
+    "platform_from_dict",
+    "save_spec",
+    "load_spec",
+]
+
+
+def application_to_dict(app: Application) -> dict:
+    """JSON-ready dict for one application (inf footprint -> null)."""
+    return {
+        "name": app.name,
+        "work": app.work,
+        "seq_fraction": app.seq_fraction,
+        "access_freq": app.access_freq,
+        "miss_rate": app.miss_rate,
+        "footprint": None if math.isinf(app.footprint) else app.footprint,
+        "baseline_cache": app.baseline_cache,
+    }
+
+
+def application_from_dict(data: dict) -> Application:
+    """Inverse of :func:`application_to_dict`."""
+    try:
+        footprint = data.get("footprint")
+        return Application(
+            name=str(data["name"]),
+            work=float(data["work"]),
+            seq_fraction=float(data.get("seq_fraction", 0.0)),
+            access_freq=float(data.get("access_freq", 0.0)),
+            miss_rate=float(data.get("miss_rate", 0.0)),
+            footprint=math.inf if footprint is None else float(footprint),
+            baseline_cache=float(data.get("baseline_cache", 40e6)),
+        )
+    except KeyError as exc:
+        raise ModelError(f"application spec missing required key {exc}") from None
+
+
+def platform_to_dict(platform: Platform) -> dict:
+    """JSON-ready dict for a platform."""
+    return {
+        "p": platform.p,
+        "cache_size": platform.cache_size,
+        "latency_cache": platform.latency_cache,
+        "latency_memory": platform.latency_memory,
+        "alpha": platform.alpha,
+        "name": platform.name,
+    }
+
+
+def platform_from_dict(data: dict) -> Platform:
+    """Inverse of :func:`platform_to_dict`."""
+    try:
+        return Platform(
+            p=float(data["p"]),
+            cache_size=float(data["cache_size"]),
+            latency_cache=float(data.get("latency_cache", 0.17)),
+            latency_memory=float(data.get("latency_memory", 1.0)),
+            alpha=float(data.get("alpha", 0.5)),
+            name=str(data.get("name", "custom")),
+        )
+    except KeyError as exc:
+        raise ModelError(f"platform spec missing required key {exc}") from None
+
+
+def save_spec(path: str | Path, workload: Workload, platform: Platform) -> None:
+    """Write a workload+platform spec to *path* (pretty-printed JSON)."""
+    doc = {
+        "platform": platform_to_dict(platform),
+        "applications": [application_to_dict(a) for a in workload],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def load_spec(path: str | Path) -> tuple[Workload, Platform]:
+    """Read a spec written by :func:`save_spec`."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or "platform" not in doc or "applications" not in doc:
+        raise ModelError(f"{path}: not a workload spec (need 'platform' and 'applications')")
+    platform = platform_from_dict(doc["platform"])
+    workload = Workload(application_from_dict(a) for a in doc["applications"])
+    return workload, platform

@@ -1,0 +1,109 @@
+"""Tests for misestimation regret and parameter elasticities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    alpha_misestimation_regret,
+    evaluate_under,
+    missrate_misestimation_regret,
+    parameter_elasticities,
+)
+from repro.core import get_scheduler
+from repro.machine import small_llc, taihulight
+from repro.types import ModelError
+from repro.workloads import npb_synth
+
+
+@pytest.fixture
+def pf():
+    return small_llc()
+
+
+@pytest.fixture
+def wl(rng):
+    return npb_synth(10, rng).with_miss_rate(0.3)
+
+
+class TestEvaluateUnder:
+    def test_identity(self, wl, pf):
+        s = get_scheduler("dominant-minratio")(wl, pf, None)
+        assert evaluate_under(s, pf) == pytest.approx(s.makespan())
+
+    def test_true_platform_changes_times(self, wl, pf):
+        s = get_scheduler("dominant-minratio")(wl, pf, None)
+        slower = pf.with_latencies(latency_memory=2.0)
+        assert evaluate_under(s, slower) > s.makespan()
+
+    def test_workload_size_mismatch(self, wl, pf, rng):
+        s = get_scheduler("0cache")(wl, pf, None)
+        with pytest.raises(ModelError):
+            evaluate_under(s, pf, npb_synth(3, rng))
+
+
+class TestAlphaRegret:
+    def test_zero_at_truth(self, wl, pf):
+        assert alpha_misestimation_regret(
+            wl, pf, alpha_true=0.5, alpha_assumed=0.5
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_nonnegative(self, wl, pf):
+        for assumed in (0.3, 0.4, 0.6, 0.7):
+            r = alpha_misestimation_regret(
+                wl, pf, alpha_true=0.5, alpha_assumed=assumed
+            )
+            assert r >= -1e-9, assumed
+
+    def test_worse_with_larger_error(self, wl, pf):
+        near = alpha_misestimation_regret(wl, pf, alpha_true=0.5, alpha_assumed=0.45)
+        far = alpha_misestimation_regret(wl, pf, alpha_true=0.5, alpha_assumed=0.2)
+        assert far >= near - 1e-9
+
+
+class TestMissRateRegret:
+    def test_zero_at_unbiased(self, wl, pf):
+        assert missrate_misestimation_regret(wl, pf, bias=1.0) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_nonnegative(self, wl, pf):
+        for bias in (0.25, 0.5, 2.0, 4.0):
+            assert missrate_misestimation_regret(wl, pf, bias=bias) >= -1e-9
+
+    def test_rejects_bad_bias(self, wl, pf):
+        with pytest.raises(ModelError):
+            missrate_misestimation_regret(wl, pf, bias=0.0)
+
+    def test_robust_on_paper_platform(self, rng):
+        """On the 32 GB LLC the schedule barely depends on m0 - the
+        model is robust exactly where the paper runs it."""
+        wl = npb_synth(10, rng)
+        r = missrate_misestimation_regret(wl, taihulight(), bias=4.0)
+        assert r < 0.02
+
+
+class TestElasticities:
+    def test_work_dominates(self, rng):
+        """Makespan responds most to the work estimate of heavy apps."""
+        wl = npb_synth(6, rng)
+        el = parameter_elasticities(wl, taihulight())
+        assert el["work"].max() > el["freq"].max()
+        assert el["work"].max() > el["miss"].max()
+
+    def test_work_elasticity_bounded_by_one(self, rng):
+        wl = npb_synth(6, rng)
+        el = parameter_elasticities(wl, taihulight())
+        assert np.all(el["work"] <= 1.0 + 1e-6)
+        assert np.all(el["work"] >= -1e-6)
+
+    def test_miss_matters_under_pressure(self, wl, pf):
+        el = parameter_elasticities(wl, pf)
+        assert el["miss"].max() > 0.0
+
+    def test_all_four_parameters_reported(self, rng):
+        el = parameter_elasticities(npb_synth(4, rng), taihulight())
+        assert set(el) == {"work", "freq", "miss", "seq"}
+        for v in el.values():
+            assert v.shape == (4,)

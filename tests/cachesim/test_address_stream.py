@@ -1,0 +1,109 @@
+"""Tests for the synthetic address-stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cachesim import (
+    interleave,
+    phased_stream,
+    strided_stream,
+    working_set_stream,
+    zipf_stream,
+)
+from repro.types import ModelError
+
+
+class TestStrided:
+    def test_wraps_at_footprint(self):
+        s = strided_stream(4, 10)
+        assert s.tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_stride_applied(self):
+        s = strided_stream(8, 4, stride=3)
+        assert s.tolist() == [0, 3, 6, 1]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ModelError):
+            strided_stream(0, 10)
+        with pytest.raises(ModelError):
+            strided_stream(4, 0)
+        with pytest.raises(ModelError):
+            strided_stream(4, 4, stride=0)
+
+
+class TestWorkingSet:
+    def test_within_footprint(self, rng):
+        s = working_set_stream(100, 5000, rng)
+        assert s.min() >= 0 and s.max() < 100
+        assert s.size == 5000
+
+    def test_covers_footprint(self, rng):
+        s = working_set_stream(16, 2000, rng)
+        assert np.unique(s).size == 16
+
+
+class TestZipf:
+    def test_within_footprint(self, rng):
+        s = zipf_stream(1000, 5000, rng)
+        assert s.min() >= 0 and s.max() < 1000
+
+    def test_skew_concentrates_reuse(self, rng):
+        """Higher skew => the top line takes a larger share of accesses."""
+        low = zipf_stream(1000, 20_000, np.random.default_rng(0), skew=0.8)
+        high = zipf_stream(1000, 20_000, np.random.default_rng(0), skew=2.0)
+
+        def top_share(s):
+            _, counts = np.unique(s, return_counts=True)
+            return counts.max() / s.size
+
+        assert top_share(high) > top_share(low)
+
+    def test_rejects_bad_skew(self, rng):
+        with pytest.raises(ModelError):
+            zipf_stream(10, 10, rng, skew=0.0)
+
+
+class TestPhased:
+    def test_disjoint_phases(self, rng):
+        s = phased_stream([(16, 100), (16, 100)], rng)
+        first, second = s[:100], s[100:]
+        assert set(first.tolist()).isdisjoint(set(second.tolist()))
+
+    def test_kinds(self, rng):
+        for kind in ("working-set", "zipf", "strided"):
+            s = phased_stream([(8, 50)], rng, kind=kind)
+            assert s.size == 50
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(ModelError):
+            phased_stream([(8, 50)], rng, kind="mystery")
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ModelError):
+            phased_stream([], rng)
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        out = interleave([np.array([0, 1]), np.array([5, 6])], tag_bits=4)
+        assert out.tolist() == [0, 5 + 16, 1, 6 + 16]
+
+    def test_unequal_lengths(self):
+        out = interleave([np.array([0, 1, 2]), np.array([9])], tag_bits=4)
+        assert out.tolist() == [0, 9 + 16, 1, 2]
+
+    def test_tags_keep_spaces_disjoint(self):
+        a = np.array([0, 1])
+        b = np.array([0, 1])
+        out = interleave([a, b])
+        assert np.unique(out).size == 4
+
+    def test_overflow_detected(self):
+        with pytest.raises(ModelError):
+            interleave([np.array([1 << 20])], tag_bits=20)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ModelError):
+            interleave([])

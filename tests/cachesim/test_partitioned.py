@@ -1,0 +1,126 @@
+"""Tests for way-partitioned and shared co-run simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cachesim import (
+    LRUCache,
+    PartitionedCache,
+    corun_partitioned,
+    corun_shared,
+    strided_stream,
+    ways_from_fractions,
+    zipf_stream,
+)
+from repro.types import ModelError
+
+
+class TestWaysFromFractions:
+    def test_exact_split(self):
+        assert ways_from_fractions([0.5, 0.25, 0.25], 8).tolist() == [4, 2, 2]
+
+    def test_largest_remainder(self):
+        ways = ways_from_fractions([0.4, 0.4, 0.2], 8)
+        assert ways.sum() == 8
+        assert ways.tolist() == [3, 3, 2] or ways.tolist() == [4, 3, 1]
+
+    def test_zero_fraction_zero_ways(self):
+        assert ways_from_fractions([0.0, 1.0], 8).tolist() == [0, 8]
+
+    def test_budget_never_exceeded(self, rng):
+        for _ in range(20):
+            raw = rng.random(5)
+            x = raw / raw.sum()
+            ways = ways_from_fractions(x, 16)
+            assert ways.sum() <= 16
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ModelError):
+            ways_from_fractions([0.7, 0.7], 8)
+        with pytest.raises(ModelError):
+            ways_from_fractions([0.5], 0)
+
+
+class TestPartitionedCache:
+    def test_zero_way_app_always_misses(self):
+        pc = PartitionedCache(4, [0, 4])
+        assert not pc.access(0, 1)
+        assert not pc.access(0, 1)
+
+    def test_partitions_do_not_interact(self):
+        pc = PartitionedCache(1, [1, 1])
+        pc.access(0, 1)
+        pc.access(1, 2)  # app 1 cannot evict app 0's line
+        assert pc.access(0, 1)
+
+    def test_counters(self):
+        pc = PartitionedCache(1, [2, 2])
+        pc.access(0, 1)
+        pc.access(0, 1)
+        pc.access(1, 5)
+        acc, mis = pc.app_counters()
+        assert acc.tolist() == [2, 1]
+        assert mis.tolist() == [1, 1]
+
+    def test_rejects_bad_allocation(self):
+        with pytest.raises(ModelError):
+            PartitionedCache(4, [])
+        with pytest.raises(ModelError):
+            PartitionedCache(4, [-1, 2])
+
+
+class TestCorunPartitioned:
+    def test_isolation_equals_standalone(self, rng):
+        """Co-run on a partition == standalone run on that partition."""
+        s1 = zipf_stream(256, 3000, rng)
+        s2 = strided_stream(5000, 3000)
+        res = corun_partitioned([s1, s2], 8, [4, 2])
+        solo = LRUCache(8, 4)
+        solo.run(s1)
+        assert res.misses[0] == solo.misses
+        solo2 = LRUCache(8, 2)
+        solo2.run(s2)
+        assert res.misses[1] == solo2.misses
+
+    def test_isolation_independent_of_interleaving(self, rng):
+        """Swapping the round-robin order changes nothing per app."""
+        s1 = zipf_stream(256, 2000, rng)
+        s2 = zipf_stream(256, 2000, rng)
+        a = corun_partitioned([s1, s2], 4, [2, 2])
+        b = corun_partitioned([s2, s1], 4, [2, 2])
+        assert a.misses[0] == b.misses[1]
+        assert a.misses[1] == b.misses[0]
+
+    def test_zero_way_all_miss(self, rng):
+        s = zipf_stream(64, 500, rng)
+        res = corun_partitioned([s], 4, [0])
+        assert res.misses[0] == res.accesses[0] == 500
+        assert res.miss_rates[0] == 1.0
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ModelError):
+            corun_partitioned([zipf_stream(8, 10, rng)], 4, [1, 1])
+
+
+class TestCorunShared:
+    def test_streaming_app_pollutes_neighbour(self, rng):
+        """The motivating interference: partitioning protects app 0."""
+        friendly = zipf_stream(512, 4000, rng, skew=1.3)
+        streamer = strided_stream(100_000, 4000)
+        iso = corun_partitioned([friendly, streamer], 16, [6, 2])
+        shared = corun_shared([friendly, streamer], 16, 8)
+        assert shared.miss_rates[0] > iso.miss_rates[0]
+
+    def test_total_capacity_matches(self, rng):
+        """A solo app sees the full shared cache."""
+        s = zipf_stream(256, 3000, rng)
+        shared = corun_shared([s], 8, 4)
+        solo = LRUCache(8, 4)
+        solo.run(s)
+        assert shared.misses[0] == solo.misses
+
+    def test_rejects_bad_ways(self, rng):
+        with pytest.raises(ModelError):
+            corun_shared([zipf_stream(8, 10, rng)], 4, 0)

@@ -1,0 +1,93 @@
+"""Tests for power-law fitting of miss-rate curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim import fit_power_law, measure_miss_curve, zipf_stream
+from repro.core.powerlaw import miss_rate
+from repro.types import ModelError
+
+
+class TestFitSynthetic:
+    def test_recovers_exact_power_law(self):
+        """A noiseless Eq. 1 curve is recovered exactly."""
+        sizes = np.geomspace(1e5, 1e8, 12)
+        m0, alpha, c0 = 0.02, 0.45, 4e7
+        rates = np.asarray(miss_rate(m0, c0, sizes, alpha))
+        fit = fit_power_law(sizes, rates, c0=c0)
+        assert fit.m0 == pytest.approx(m0, rel=1e-9)
+        assert fit.alpha == pytest.approx(alpha, rel=1e-9)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_saturated_points_excluded(self):
+        """Points at miss rate 1 (the min() branch) do not bias the fit."""
+        sizes = np.geomspace(1e2, 1e8, 16)
+        rates = np.asarray(miss_rate(0.05, 4e7, sizes, 0.5))
+        assert np.any(rates >= 0.999)  # some saturation present
+        fit = fit_power_law(sizes, rates, c0=4e7)
+        assert fit.alpha == pytest.approx(0.5, rel=1e-6)
+        assert fit.points_used < sizes.size
+
+    def test_noisy_fit_reasonable(self, rng):
+        sizes = np.geomspace(1e5, 1e8, 20)
+        rates = np.asarray(miss_rate(0.03, 4e7, sizes, 0.5))
+        noisy = np.clip(rates * np.exp(rng.normal(0, 0.05, size=20)), 0, 1)
+        fit = fit_power_law(sizes, noisy, c0=4e7)
+        assert fit.alpha == pytest.approx(0.5, abs=0.1)
+        assert fit.r2 > 0.9
+
+    def test_predict_roundtrip(self):
+        sizes = np.geomspace(1e5, 1e8, 10)
+        rates = np.asarray(miss_rate(0.02, 4e7, sizes, 0.4))
+        fit = fit_power_law(sizes, rates, c0=4e7)
+        assert np.allclose(fit.predict(sizes), rates, rtol=1e-6)
+
+    def test_default_c0_is_largest(self):
+        sizes = np.geomspace(1e5, 1e8, 10)
+        rates = np.asarray(miss_rate(0.02, 4e7, sizes, 0.4))
+        fit = fit_power_law(sizes, rates)
+        assert fit.c0 == pytest.approx(1e8)
+
+    @given(m0=st.floats(min_value=1e-4, max_value=0.5),
+           alpha=st.floats(min_value=0.2, max_value=0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_property_exact_recovery(self, m0, alpha):
+        sizes = np.geomspace(1e6, 1e9, 10)
+        rates = np.asarray(miss_rate(m0, 4e7, sizes, alpha))
+        if (rates < 0.999).sum() < 2:
+            return  # fully saturated curve carries no information
+        fit = fit_power_law(sizes, rates, c0=4e7)
+        assert fit.alpha == pytest.approx(alpha, rel=1e-6)
+
+
+class TestFitValidation:
+    def test_needs_two_points(self):
+        with pytest.raises(ModelError):
+            fit_power_law([1e6, 2e6], [1.0, 1.0])  # all saturated
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            fit_power_law([1e6, 2e6], [0.5])
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ModelError):
+            fit_power_law([1e6, 2e6], [0.5, 1.5])
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ModelError):
+            fit_power_law([0.0, 2e6], [0.5, 0.4])
+
+
+class TestEndToEnd:
+    def test_zipf_trace_is_power_law_like(self):
+        """A Zipf trace's measured curve fits Eq. 1 decently (r2 > 0.8)."""
+        rng = np.random.default_rng(7)
+        trace = zipf_stream(400_000, 250_000, rng, skew=1.05)
+        curve = measure_miss_curve(trace, np.geomspace(64 * 1024, 64 * 262144, 10))
+        fit = curve.fit(c0=40e6)
+        assert fit.r2 > 0.85
+        assert fit.alpha > 0.05

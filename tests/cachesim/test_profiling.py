@@ -1,0 +1,82 @@
+"""Tests for the trace-driven application profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cachesim import measure_miss_curve, profile_application, zipf_stream
+from repro.cachesim.address_stream import LINE_BYTES
+from repro.types import ModelError
+
+
+@pytest.fixture
+def trace(rng):
+    return zipf_stream(100_000, 60_000, rng, skew=1.3)
+
+
+class TestMeasureMissCurve:
+    def test_monotone_in_size(self, trace):
+        curve = measure_miss_curve(trace, np.geomspace(64 * 1024, 64 * 1024 * 256, 8))
+        assert np.all(np.diff(curve.miss_rates) <= 0)
+
+    def test_sizes_floored_to_lines(self, trace):
+        curve = measure_miss_curve(trace, np.array([1000.0]))
+        assert curve.cache_bytes[0] == (1000 // LINE_BYTES) * LINE_BYTES
+
+    def test_rejects_too_small(self, trace):
+        with pytest.raises(ModelError):
+            measure_miss_curve(trace, np.array([1.0]))
+
+    def test_records_accesses(self, trace):
+        curve = measure_miss_curve(trace, np.array([64 * 1024.0]))
+        assert curve.accesses == trace.size
+
+
+class TestProfileApplication:
+    def test_end_to_end(self, trace):
+        app, curve, fit = profile_application(
+            "kernel", trace, work=1e9, operations_per_access=4.0
+        )
+        assert app.name == "kernel"
+        assert app.work == 1e9
+        assert app.access_freq == pytest.approx(0.25)
+        assert 0.0 <= app.miss_rate <= 1.0
+        assert app.footprint == np.unique(trace).size * LINE_BYTES
+        assert curve.accesses == trace.size
+        assert fit.points_used >= 2
+
+    def test_miss_rate_consistent_with_curve(self, trace):
+        """The stamped m0 reproduces the measured curve near C0."""
+        app, curve, fit = profile_application(
+            "kernel", trace, work=1e9, operations_per_access=1.0
+        )
+        predicted = fit.predict(curve.cache_bytes)
+        usable = (curve.miss_rates < 0.99) & (curve.miss_rates > 1e-9)
+        if usable.sum() >= 3:
+            ratio = predicted[usable] / curve.miss_rates[usable]
+            assert np.median(np.abs(np.log(ratio))) < 0.7
+
+    def test_seq_fraction_stamped(self, trace):
+        app, _, _ = profile_application(
+            "k", trace, work=1e9, seq_fraction=0.07
+        )
+        assert app.seq_fraction == 0.07
+
+    def test_rejects_bad_work(self, trace):
+        with pytest.raises(ModelError):
+            profile_application("k", trace, work=0.0)
+
+    def test_rejects_bad_intensity(self, trace):
+        with pytest.raises(ModelError):
+            profile_application("k", trace, work=1e9, operations_per_access=0.0)
+
+    def test_profiled_app_schedulable(self, trace):
+        """The profiler's output plugs straight into the scheduler."""
+        from repro.core import Workload, dominant_schedule
+        from repro.machine import xeon_e5_2690
+
+        app, _, _ = profile_application("k", trace, work=1e9)
+        other, _, _ = profile_application("k2", trace[::-1].copy(), work=2e9)
+        sched = dominant_schedule(Workload([app, other]), xeon_e5_2690())
+        assert sched.is_feasible()

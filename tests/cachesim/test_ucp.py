@@ -1,0 +1,108 @@
+"""Tests for utility-based cache partitioning (UCP)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cachesim import (
+    total_utility,
+    ucp_allocate,
+    utility_from_stack_distances,
+    zipf_stream,
+)
+from repro.cachesim.lru import LRUCache
+from repro.types import ModelError
+
+
+class TestUtilityCurves:
+    def test_monotone_nonincreasing(self, rng):
+        trace = zipf_stream(512, 4000, rng)
+        curve = utility_from_stack_distances(trace, 16)
+        assert curve.size == 17
+        assert np.all(np.diff(curve) <= 0)
+
+    def test_zero_ways_all_miss(self, rng):
+        trace = zipf_stream(64, 500, rng)
+        curve = utility_from_stack_distances(trace, 4)
+        assert curve[0] == trace.size
+
+    def test_matches_direct_simulation(self, rng):
+        trace = zipf_stream(128, 2000, rng)
+        curve = utility_from_stack_distances(trace, 8)
+        for ways in (1, 4, 8):
+            c = LRUCache(1, ways)
+            c.run(trace)
+            assert curve[ways] == c.misses
+
+    def test_rejects_bad_ways(self, rng):
+        with pytest.raises(ModelError):
+            utility_from_stack_distances(zipf_stream(8, 10, rng), 0)
+
+
+class TestUcpAllocate:
+    def test_budget_respected(self):
+        curves = [np.array([10.0, 5.0, 3.0, 2.0])] * 3
+        alloc = ucp_allocate(curves, 6)
+        assert alloc.sum() <= 6
+        assert np.all(alloc >= 0)
+
+    def test_min_ways_honoured(self):
+        curves = [np.array([10.0, 1.0]), np.array([10.0, 9.99])]
+        alloc = ucp_allocate(curves, 2, min_ways=1)
+        assert np.all(alloc >= 1)
+
+    def test_greedy_prefers_high_utility(self):
+        steep = np.array([100.0, 10.0, 5.0])
+        flat = np.array([100.0, 99.0, 98.0])
+        alloc = ucp_allocate([steep, flat], 2)
+        assert alloc[0] >= alloc[1]
+
+    def test_lookahead_handles_nonconvex(self):
+        """A cliff at 3 ways must attract a 3-way block even though the
+        first two ways individually gain nothing."""
+        cliff = np.array([100.0, 100.0, 100.0, 0.0])
+        mild = np.array([100.0, 90.0, 80.0, 70.0])
+        alloc = ucp_allocate([cliff, mild], 3)
+        assert alloc[0] == 3  # the cliff wins the whole budget
+
+    def test_saturated_ways_not_wasted(self):
+        curves = [np.array([5.0, 0.0]), np.array([5.0, 0.0])]
+        alloc = ucp_allocate(curves, 10)
+        assert alloc.sum() == 2  # leftover ways are worthless
+
+    def test_optimal_on_small_instances(self, rng):
+        """UCP lookahead matches brute force on random 3-app instances."""
+        for seed in range(10):
+            r = np.random.default_rng(seed)
+            curves = [
+                np.minimum.accumulate(np.concatenate((
+                    [100.0], np.sort(r.uniform(0, 100, size=6))[::-1]
+                )))
+                for _ in range(3)
+            ]
+            alloc = ucp_allocate(curves, 6)
+            best = min(
+                total_utility(curves, combo)
+                for combo in itertools.product(range(7), repeat=3)
+                if sum(combo) <= 6
+            )
+            got = total_utility(curves, alloc)
+            # Lookahead is near-optimal, not exact, on adversarial curves.
+            assert got <= best * 1.1 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ucp_allocate([], 4)
+        with pytest.raises(ModelError):
+            ucp_allocate([np.array([1.0, 2.0])], 4)  # increasing curve
+        with pytest.raises(ModelError):
+            ucp_allocate([np.array([2.0, 1.0])] * 3, 2, min_ways=1)
+
+    def test_total_utility_validation(self):
+        with pytest.raises(ModelError):
+            total_utility([np.array([1.0])], [0, 1])
+        with pytest.raises(ModelError):
+            total_utility([np.array([1.0])], [-1])

@@ -1,0 +1,111 @@
+"""Tests for the Section 6.3 baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import all_proc_cache, fair, random_partition, zero_cache
+from repro.core.dominance import optimal_cache_fractions
+from repro.machine import taihulight
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+class TestAllProcCache:
+    def test_sequential_sum(self, synth16, pf):
+        s = all_proc_cache(synth16, pf)
+        assert not s.concurrent
+        assert s.makespan() == pytest.approx(s.times().sum())
+
+    def test_uses_whole_machine(self, synth16, pf):
+        s = all_proc_cache(synth16, pf)
+        assert np.all(s.procs == pf.p)
+        assert np.all(s.cache == 1.0)
+
+
+class TestFair:
+    def test_equal_processors(self, synth16, pf):
+        s = fair(synth16, pf)
+        assert np.allclose(s.procs, pf.p / synth16.n)
+
+    def test_cache_proportional_to_freq(self, synth16, pf):
+        s = fair(synth16, pf)
+        expected = synth16.freq / synth16.freq.sum()
+        assert np.allclose(s.cache, expected)
+        assert s.cache.sum() == pytest.approx(1.0)
+
+    def test_zero_freq_workload_splits_equally(self, pf):
+        from repro.core import Application, Workload
+
+        wl = Workload([
+            Application(name=f"t{i}", work=1e9, access_freq=0.0) for i in range(4)
+        ])
+        s = fair(wl, pf)
+        assert np.allclose(s.cache, 0.25)
+
+    def test_does_not_equalize_finish(self, synth16, pf):
+        """Fair generally leaves a large finish-time spread."""
+        s = fair(synth16, pf)
+        assert s.finish_time_spread() > 0.01
+
+
+class TestZeroCache:
+    def test_no_cache_anywhere(self, synth16, pf):
+        s = zero_cache(synth16, pf)
+        assert np.all(s.cache == 0.0)
+
+    def test_equal_finish(self, synth16, pf):
+        s = zero_cache(synth16, pf)
+        assert s.finish_time_spread() < 1e-6
+        assert s.procs.sum() == pytest.approx(pf.p, rel=1e-6)
+
+
+class TestRandomPartition:
+    def test_feasible_and_equal_finish(self, synth16, pf):
+        s = random_partition(synth16, pf, np.random.default_rng(0))
+        assert s.is_feasible()
+        assert s.finish_time_spread() < 1e-6
+
+    def test_in_cache_apps_use_theorem3(self, synth16, pf):
+        s = random_partition(synth16, pf, np.random.default_rng(0))
+        mask = s.cache_subset
+        if mask.any():
+            expected = optimal_cache_fractions(synth16, pf, mask)
+            assert np.allclose(s.cache, expected)
+
+    def test_varies_with_rng(self, synth16, pf):
+        subsets = {
+            tuple(random_partition(synth16, pf, np.random.default_rng(s)).cache_subset)
+            for s in range(20)
+        }
+        assert len(subsets) > 1
+
+    def test_empty_draw_degenerates_to_zero_cache(self, pf):
+        """With ineligible apps only, RandomPart gives everyone x=0."""
+        from repro.core import Application, Workload
+
+        wl = Workload([
+            Application(name=f"t{i}", work=1e9, access_freq=0.0) for i in range(3)
+        ])
+        s = random_partition(wl, pf, np.random.default_rng(0))
+        assert np.all(s.cache == 0.0)
+
+
+class TestRanking:
+    def test_dominant_beats_baselines_at_scale(self, pf, rng):
+        """The paper's headline: DominantMinRatio wins at n = 64."""
+        from repro.core import dominant_schedule
+        from repro.workloads import npb_synth
+
+        wl = npb_synth(64, rng)
+        dom = dominant_schedule(wl, pf, strategy="dominant", choice="minratio")
+        assert dom.makespan() < zero_cache(wl, pf).makespan()
+        assert dom.makespan() < fair(wl, pf).makespan()
+        assert dom.makespan() < all_proc_cache(wl, pf).makespan()
+        assert dom.makespan() <= random_partition(
+            wl, pf, np.random.default_rng(0)
+        ).makespan() * (1 + 1e-9)

@@ -1,0 +1,153 @@
+"""Unit and property tests for the power law of cache misses (Eq. 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.powerlaw import (
+    cache_for_target_miss_rate,
+    effective_cache,
+    miss_rate,
+    miss_rate_fraction,
+    useful_fraction_bounds,
+)
+from repro.types import ModelError
+
+_m0 = st.floats(min_value=1e-6, max_value=1.0)
+_size = st.floats(min_value=1e3, max_value=1e12)
+_alpha = st.floats(min_value=0.05, max_value=1.0)
+
+
+class TestMissRate:
+    def test_baseline_identity(self):
+        """At the baseline cache size, the miss rate is m0."""
+        assert miss_rate(0.02, 40e6, 40e6, 0.5) == pytest.approx(0.02)
+
+    def test_half_cache_sqrt2(self):
+        """The classic sqrt(2) rule: halving the cache scales misses by sqrt 2."""
+        assert miss_rate(0.01, 40e6, 20e6, 0.5) == pytest.approx(0.01 * math.sqrt(2))
+
+    def test_saturates_at_one(self):
+        assert miss_rate(0.9, 40e6, 1.0, 0.5) == 1.0
+
+    def test_zero_cache_all_misses(self):
+        assert miss_rate(0.5, 40e6, 0.0, 0.5) == 1.0
+
+    def test_zero_cache_zero_m0_no_misses(self):
+        """An application that never misses keeps missing never."""
+        assert miss_rate(0.0, 40e6, 0.0, 0.5) == 0.0
+
+    def test_vectorized(self):
+        out = miss_rate(np.array([0.01, 0.02]), 40e6, np.array([40e6, 40e6]), 0.5)
+        assert np.allclose(out, [0.01, 0.02])
+
+    def test_rejects_bad_m0(self):
+        with pytest.raises(ModelError):
+            miss_rate(1.5, 40e6, 40e6, 0.5)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ModelError):
+            miss_rate(0.1, 40e6, 40e6, 0.0)
+
+    def test_rejects_negative_cache(self):
+        with pytest.raises(ModelError):
+            miss_rate(0.1, 40e6, -1.0, 0.5)
+
+    @given(m0=_m0, c0=_size, alpha=_alpha, factor=st.floats(min_value=1.0, max_value=1e6))
+    def test_monotone_decreasing_in_cache(self, m0, c0, alpha, factor):
+        """More cache never increases the miss rate."""
+        small = miss_rate(m0, c0, c0, alpha)
+        large = miss_rate(m0, c0, c0 * factor, alpha)
+        assert large <= small + 1e-15
+
+    @given(m0=_m0, c0=_size, c=_size, alpha=_alpha)
+    def test_range(self, m0, c0, c, alpha):
+        m = miss_rate(m0, c0, c, alpha)
+        assert 0.0 <= m <= 1.0
+
+
+class TestMissRateFraction:
+    def test_matches_bytes_form(self):
+        """d/x^alpha equals the Eq. 1 bytes form with C = x*Cs."""
+        m0, c0, cs, alpha, x = 0.02, 40e6, 32e9, 0.5, 0.25
+        d = m0 * (c0 / cs) ** alpha
+        assert miss_rate_fraction(d, x, alpha) == pytest.approx(
+            miss_rate(m0, c0, x * cs, alpha)
+        )
+
+    def test_zero_fraction(self):
+        assert miss_rate_fraction(0.3, 0.0, 0.5) == 1.0
+        assert miss_rate_fraction(0.0, 0.0, 0.5) == 0.0
+
+    def test_threshold(self):
+        """At x = d^(1/alpha) the min() clamps exactly at 1."""
+        d, alpha = 0.04, 0.5
+        x = d ** (1 / alpha)
+        assert miss_rate_fraction(d, x, alpha) == pytest.approx(1.0)
+
+    @given(d=st.floats(min_value=1e-8, max_value=0.5),
+           x=st.floats(min_value=1e-6, max_value=1.0),
+           alpha=_alpha)
+    def test_range(self, d, x, alpha):
+        assert 0.0 <= miss_rate_fraction(d, x, alpha) <= 1.0
+
+    def test_rejects_fraction_above_one(self):
+        with pytest.raises(ModelError):
+            miss_rate_fraction(0.1, 1.5, 0.5)
+
+
+class TestEffectiveCache:
+    def test_clamps_to_footprint(self):
+        assert effective_cache(100.0, 60.0) == 60.0
+
+    def test_infinite_footprint_passthrough(self):
+        assert effective_cache(100.0, math.inf) == 100.0
+
+    def test_vectorized(self):
+        out = effective_cache(np.array([10.0, 100.0]), np.array([50.0, 50.0]))
+        assert np.allclose(out, [10.0, 50.0])
+
+    def test_rejects_nonpositive_footprint(self):
+        with pytest.raises(ModelError):
+            effective_cache(1.0, 0.0)
+
+
+class TestUsefulFractionBounds:
+    def test_eq3_bounds(self):
+        lo, hi = useful_fraction_bounds(0.04, math.inf, 1e9, 0.5)
+        assert lo == pytest.approx(0.04**2)
+        assert hi == 1.0
+
+    def test_footprint_bound(self):
+        lo, hi = useful_fraction_bounds(0.0001, 2.5e8, 1e9, 0.5)
+        assert hi == pytest.approx(0.25)
+
+    def test_useless_application(self):
+        """d^(1/alpha) >= a/Cs means no fraction is useful."""
+        lo, hi = useful_fraction_bounds(0.9, 1e6, 1e9, 0.5)
+        assert lo >= hi
+
+
+class TestCacheForTarget:
+    def test_inverts_miss_rate(self):
+        c = cache_for_target_miss_rate(0.02, 40e6, 0.01, 0.5)
+        assert miss_rate(0.02, 40e6, c, 0.5) == pytest.approx(0.01)
+
+    def test_target_one_needs_nothing(self):
+        assert cache_for_target_miss_rate(0.5, 40e6, 1.0, 0.5) == 0.0
+
+    def test_rejects_zero_target(self):
+        with pytest.raises(ModelError):
+            cache_for_target_miss_rate(0.5, 40e6, 0.0, 0.5)
+
+    @given(m0=_m0, c0=_size, target=st.floats(min_value=1e-6, max_value=0.999),
+           alpha=_alpha)
+    def test_roundtrip(self, m0, c0, target, alpha):
+        c = cache_for_target_miss_rate(m0, c0, target, alpha)
+        if target < m0 and c > 0:
+            assert miss_rate(m0, c0, c, alpha) == pytest.approx(target, rel=1e-9)

@@ -1,0 +1,149 @@
+"""Tests for Lemma 2 and the equal-finish binary search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Application, Workload
+from repro.core.execution import execution_times, sequential_times
+from repro.core.processor_allocation import (
+    build_equal_finish_schedule,
+    equal_finish_allocation,
+    equal_finish_makespan,
+    lemma2_processor_allocation,
+    perfectly_parallel_makespan,
+    processor_demand,
+)
+from repro.machine import taihulight
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+class TestLemma2:
+    def test_sums_to_p(self, npb6_pp, pf):
+        x = np.full(6, 1 / 6)
+        procs = lemma2_processor_allocation(npb6_pp, pf, x)
+        assert procs.sum() == pytest.approx(pf.p)
+
+    def test_equalizes_finish_times(self, npb6_pp, pf):
+        x = np.full(6, 1 / 6)
+        procs = lemma2_processor_allocation(npb6_pp, pf, x)
+        times = execution_times(npb6_pp, pf, procs, x)
+        assert times.max() - times.min() < 1e-6 * times.max()
+
+    def test_lemma3_makespan(self, npb6_pp, pf):
+        """Common finish time equals (1/p) sum Exe(1, x)."""
+        x = np.full(6, 1 / 6)
+        procs = lemma2_processor_allocation(npb6_pp, pf, x)
+        times = execution_times(npb6_pp, pf, procs, x)
+        assert times[0] == pytest.approx(perfectly_parallel_makespan(npb6_pp, pf, x))
+
+    def test_optimality_vs_perturbations(self, npb6_pp, pf, rng):
+        """Any other allocation summing to p has a larger makespan."""
+        x = np.full(6, 1 / 6)
+        procs = lemma2_processor_allocation(npb6_pp, pf, x)
+        best = execution_times(npb6_pp, pf, procs, x).max()
+        for _ in range(30):
+            raw = rng.random(6) + 0.01
+            alt = pf.p * raw / raw.sum()
+            span = execution_times(npb6_pp, pf, alt, x).max()
+            assert span >= best * (1 - 1e-12)
+
+
+class TestProcessorDemand:
+    def test_perfectly_parallel_closed_form(self):
+        """For s = 0, g(K) = sum(c)/K."""
+        seq = np.zeros(3)
+        c = np.array([1.0, 2.0, 3.0])
+        assert processor_demand(seq, c, 2.0) == pytest.approx(6.0 / 2.0)
+
+    def test_infinite_below_singularity(self):
+        seq = np.array([0.5])
+        c = np.array([10.0])
+        assert processor_demand(seq, c, 4.0) == np.inf  # K < s*c = 5
+
+    def test_decreasing(self):
+        seq = np.array([0.1, 0.2])
+        c = np.array([5.0, 7.0])
+        ks = np.linspace(2.0, 20.0, 50)
+        vals = [processor_demand(seq, c, k) for k in ks]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+
+class TestEqualFinish:
+    def test_single_app(self, pf):
+        wl = Workload([Application(name="x", work=1e9, seq_fraction=0.2,
+                                   access_freq=0.5, miss_rate=0.01)])
+        procs, K = equal_finish_allocation(wl, pf, np.array([1.0]))
+        assert procs[0] == pytest.approx(pf.p)
+        expected = execution_times(wl, pf, np.array([pf.p]), np.array([1.0]))[0]
+        assert K == pytest.approx(expected)
+
+    def test_matches_lemma2_for_perfectly_parallel(self, npb6_pp, pf):
+        x = np.full(6, 1 / 6)
+        procs, K = equal_finish_allocation(npb6_pp, pf, x)
+        closed = lemma2_processor_allocation(npb6_pp, pf, x)
+        assert np.allclose(procs, closed, rtol=1e-8)
+        assert K == pytest.approx(perfectly_parallel_makespan(npb6_pp, pf, x))
+
+    def test_equal_finish_amdahl(self, npb6_amdahl, pf):
+        x = np.full(6, 1 / 6)
+        sched = build_equal_finish_schedule(npb6_amdahl, pf, x)
+        assert sched.finish_time_spread() < 1e-8
+        assert sched.procs.sum() == pytest.approx(pf.p, rel=1e-8)
+
+    def test_bisect_matches_brentq(self, npb6_amdahl, pf):
+        x = np.full(6, 1 / 6)
+        k_brent = equal_finish_makespan(npb6_amdahl, pf, x, method="brentq")
+        k_bisect = equal_finish_makespan(npb6_amdahl, pf, x, method="bisect")
+        assert k_bisect == pytest.approx(k_brent, rel=1e-8)
+
+    def test_unknown_method(self, npb6_amdahl, pf):
+        with pytest.raises(ValueError):
+            equal_finish_makespan(npb6_amdahl, pf, np.zeros(6), method="newton")
+
+    def test_more_apps_than_processors(self, rng):
+        """n > p forces fractional allocations below 1."""
+        from repro.machine import taihulight
+        from repro.workloads import npb_synth
+
+        pf = taihulight(p=8.0)
+        wl = npb_synth(32, rng)
+        sched = build_equal_finish_schedule(wl, pf, np.zeros(32))
+        assert sched.is_feasible()
+        assert sched.finish_time_spread() < 1e-8
+        assert np.any(sched.procs < 1.0)
+
+    def test_fully_sequential_app(self, pf):
+        """s = 1 applications get epsilon processors and finish at c."""
+        wl = Workload([
+            Application(name="seq", work=1e9, seq_fraction=1.0,
+                        access_freq=0.5, miss_rate=0.01),
+            Application(name="par", work=1e12, seq_fraction=0.0,
+                        access_freq=0.5, miss_rate=0.01),
+        ])
+        sched = build_equal_finish_schedule(wl, pf, np.zeros(2))
+        assert sched.is_feasible()
+        c_seq = sequential_times(wl, pf, np.zeros(2))[0]
+        assert sched.times()[0] == pytest.approx(c_seq)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n=st.integers(min_value=2, max_value=24))
+    @settings(max_examples=25, deadline=None)
+    def test_property_equal_finish_and_budget(self, seed, n):
+        """For any workload: all finish together and sum(p_i) ~= p."""
+        from repro.workloads import npb_synth
+
+        pf = taihulight()
+        wl = npb_synth(n, np.random.default_rng(seed))
+        x = np.zeros(n)
+        sched = build_equal_finish_schedule(wl, pf, x)
+        assert sched.finish_time_spread() < 1e-6
+        assert sched.procs.sum() <= pf.p * (1 + 1e-6)
+        assert sched.procs.sum() >= pf.p * (1 - 1e-6)

@@ -1,0 +1,72 @@
+"""Tests for the scheduler registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_BASELINES,
+    PAPER_HEURISTICS,
+    get_scheduler,
+    is_randomized,
+    register,
+    scheduler_names,
+)
+from repro.machine import taihulight
+from repro.types import ModelError
+
+
+class TestRegistry:
+    def test_all_paper_strategies_present(self):
+        names = set(scheduler_names())
+        for name in PAPER_HEURISTICS + PAPER_BASELINES:
+            assert name in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_scheduler("Fair") is get_scheduler("fair")
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ModelError):
+            get_scheduler("nope")
+
+    def test_randomized_flags(self):
+        assert is_randomized("randompart")
+        assert is_randomized("dominant-random")
+        assert not is_randomized("dominant-minratio")
+        assert not is_randomized("fair")
+
+    def test_register_duplicate_rejected(self):
+        fn = get_scheduler("fair")
+        with pytest.raises(ModelError):
+            register("fair", fn)
+
+    def test_register_overwrite_allowed(self):
+        fn = get_scheduler("fair")
+        register("fair", fn, overwrite=True)
+        assert get_scheduler("fair") is fn
+
+    def test_register_custom_and_call(self, synth16):
+        calls = []
+
+        def custom(wl, pf, rng=None):
+            calls.append(wl.n)
+            return get_scheduler("0cache")(wl, pf, rng)
+
+        register("test-custom", custom, overwrite=True)
+        pf = taihulight()
+        s = get_scheduler("test-custom")(synth16, pf, None)
+        assert calls == [16]
+        assert s.is_feasible()
+
+    def test_every_scheduler_runs(self, synth16):
+        """Every registered strategy yields a valid schedule on NPB-SYNTH."""
+        import repro.extensions  # noqa: F401  (registers extensions)
+
+        pf = taihulight()
+        rng = np.random.default_rng(0)
+        for name in scheduler_names():
+            if name == "test-custom":
+                continue
+            sched = get_scheduler(name)(synth16, pf, rng)
+            assert sched.makespan() > 0, name

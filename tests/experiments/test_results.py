@@ -1,0 +1,80 @@
+"""Tests for the experiment result container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.types import ModelError
+
+
+@pytest.fixture
+def result():
+    x = np.array([1.0, 2.0, 4.0])
+    data = {
+        "ref": {"makespan": np.array([[10.0, 20.0, 40.0], [12.0, 22.0, 44.0]])},
+        "half": {"makespan": np.array([[5.0, 10.0, 20.0], [6.0, 11.0, 22.0]])},
+    }
+    return ExperimentResult(
+        experiment_id="figX", title="demo", xlabel="n", x=x, data=data,
+    )
+
+
+class TestAccess:
+    def test_schedulers_and_reps(self, result):
+        assert result.schedulers == ("ref", "half")
+        assert result.reps == 2
+
+    def test_mean(self, result):
+        assert np.allclose(result.mean("ref"), [11.0, 21.0, 42.0])
+
+    def test_spread(self, result):
+        lo, mean, hi = result.spread("half")
+        assert np.allclose(lo, [5.0, 10.0, 20.0])
+        assert np.allclose(hi, [6.0, 11.0, 22.0])
+
+    def test_unknown_scheduler(self, result):
+        with pytest.raises(ModelError):
+            result.samples("nobody")
+
+    def test_unknown_metric(self, result):
+        with pytest.raises(ModelError):
+            result.samples("ref", "latency")
+
+
+class TestNormalization:
+    def test_per_rep_ratio(self, result):
+        norm = result.normalized(by="ref")
+        assert np.allclose(norm["ref"], 1.0)
+        assert np.allclose(norm["half"], 0.5)
+
+    def test_ratio_of_means_differs(self):
+        """Per-rep normalization is not the ratio of the means."""
+        x = np.array([1.0])
+        data = {
+            "a": {"makespan": np.array([[1.0], [100.0]])},
+            "b": {"makespan": np.array([[2.0], [100.0]])},
+        }
+        res = ExperimentResult("f", "t", "x", x, data)
+        norm = res.normalized(by="a")["b"]
+        assert norm[0] == pytest.approx((2.0 / 1.0 + 100.0 / 100.0) / 2)
+
+
+class TestRowsAndCsv:
+    def test_to_rows_raw(self, result):
+        header, rows = result.to_rows()
+        assert header == ["n", "ref", "half"]
+        assert rows[0] == [1.0, 11.0, 5.5]
+
+    def test_to_rows_normalized(self, result):
+        header, rows = result.to_rows(normalize_by="ref")
+        assert rows[2][2] == pytest.approx(0.5)
+
+    def test_csv_roundtrip(self, result, tmp_path):
+        path = tmp_path / "out.csv"
+        result.to_csv(path, normalize_by="ref")
+        header, rows = ExperimentResult.read_csv(path)
+        assert header == ["n", "ref", "half"]
+        assert rows.shape == (3, 3)
+        assert rows[:, 2] == pytest.approx(0.5)

@@ -1,0 +1,55 @@
+"""Tests for text table rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult, format_table, render_result
+from repro.types import ModelError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1.0, 2.5], [10.0, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_integer_formatting(self):
+        out = format_table(["n"], [[256.0]])
+        assert "256" in out and "256.0000" not in out
+
+    def test_scientific_for_extremes(self):
+        out = format_table(["v"], [[1.5e9]])
+        assert "e+09" in out
+
+    def test_string_cells_passthrough(self):
+        out = format_table(["app", "w"], [["CG", 5.7e10]])
+        assert "CG" in out
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ModelError):
+            format_table([], [])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ModelError):
+            format_table(["a", "b"], [[1.0]])
+
+
+class TestRenderResult:
+    def test_contains_title_and_series(self):
+        res = ExperimentResult(
+            "figX", "demo title", "n", np.array([1.0]),
+            {"s1": {"makespan": np.array([[2.0]])}},
+        )
+        out = render_result(res)
+        assert "figX" in out and "demo title" in out and "s1" in out
+
+    def test_normalized_annotation(self):
+        res = ExperimentResult(
+            "figX", "demo", "n", np.array([1.0]),
+            {"s1": {"makespan": np.array([[2.0]])}},
+        )
+        out = render_result(res, normalize_by="s1")
+        assert "normalized by s1" in out

@@ -1,0 +1,67 @@
+"""Tests for the SLSQP continuous optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import dominant_schedule, get_scheduler
+from repro.core.dominance import optimal_cache_fractions
+from repro.core.processor_allocation import equal_finish_makespan
+from repro.extensions import continuous_schedule, optimize_fractions
+from repro.machine import taihulight
+from repro.workloads import npb_synth
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+class TestOptimizeFractions:
+    def test_feasible_output(self, synth16, pf):
+        x = optimize_fractions(synth16, pf)
+        assert np.all(x >= 0)
+        assert x.sum() <= 1 + 1e-9
+
+    def test_never_worse_than_warm_start(self, synth16, pf):
+        mask = np.ones(16, dtype=bool)
+        warm = optimal_cache_fractions(synth16, pf, mask)
+        x = optimize_fractions(synth16, pf, x0=warm)
+        k_warm = equal_finish_makespan(synth16, pf, warm)
+        k_opt = equal_finish_makespan(synth16, pf, x)
+        assert k_opt <= k_warm * (1 + 1e-12)
+
+    def test_recovers_theorem3_perfectly_parallel(self, npb6_pp, pf):
+        """For s=0, Theorem 3 is the global optimum; SLSQP cannot beat it."""
+        x_t3 = optimal_cache_fractions(npb6_pp, pf, np.ones(6, dtype=bool))
+        x = optimize_fractions(npb6_pp, pf)
+        k_t3 = equal_finish_makespan(npb6_pp, pf, x_t3)
+        k = equal_finish_makespan(npb6_pp, pf, x)
+        assert k == pytest.approx(k_t3, rel=1e-6)
+
+    def test_matches_speedup_aware_fixed_point(self, pf):
+        """Two independent derivations of the same optimum must agree."""
+        from repro.core.heuristics import dominant_partition
+        from repro.extensions import speedup_aware_fractions
+
+        wl = npb_synth(12, np.random.default_rng(5), seq_range=(0.0, 0.3))
+        mask = dominant_partition(wl, pf, "minratio")
+        x_kkt = speedup_aware_fractions(wl, pf, mask)
+        x_slsqp = optimize_fractions(wl, pf, x0=x_kkt)
+        k_kkt = equal_finish_makespan(wl, pf, x_kkt)
+        k_slsqp = equal_finish_makespan(wl, pf, x_slsqp)
+        assert k_slsqp == pytest.approx(k_kkt, rel=1e-4)
+
+
+class TestSchedule:
+    def test_never_worse_than_dominant(self, pf):
+        for seed in range(4):
+            wl = npb_synth(10, np.random.default_rng(seed))
+            base = dominant_schedule(wl, pf, strategy="dominant", choice="minratio")
+            opt = continuous_schedule(wl, pf)
+            assert opt.makespan() <= base.makespan() * (1 + 1e-9)
+
+    def test_registered(self, synth16, pf):
+        s = get_scheduler("continuous-opt")(synth16, pf, None)
+        assert s.is_feasible()

@@ -1,0 +1,93 @@
+"""Tests for the way-granularity (UCP-over-the-model) extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extensions import granularity_penalty, model_utility_curves, ways_schedule
+from repro.machine import small_llc, taihulight
+from repro.types import ModelError
+from repro.workloads import npb_synth
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+@pytest.fixture
+def wl(rng):
+    return npb_synth(8, rng)
+
+
+class TestModelCurves:
+    def test_shapes_and_monotonicity(self, wl, pf):
+        curves = model_utility_curves(wl, pf, 16)
+        assert len(curves) == 8
+        for c in curves:
+            assert c.size == 17
+            assert np.all(np.diff(c) <= 1e-9 * c[0])
+
+    def test_endpoints_match_model(self, wl, pf):
+        from repro.core.execution import sequential_times
+
+        curves = model_utility_curves(wl, pf, 8)
+        full = sequential_times(wl, pf, np.ones(8))
+        none = sequential_times(wl, pf, np.zeros(8))
+        for i, c in enumerate(curves):
+            assert c[0] == pytest.approx(none[i])
+            assert c[-1] == pytest.approx(full[i], rel=1e-9)
+
+    def test_rejects_bad_ways(self, wl, pf):
+        with pytest.raises(ModelError):
+            model_utility_curves(wl, pf, 0)
+
+
+class TestWaysSchedule:
+    def test_feasible_and_way_granular(self, wl, pf):
+        sched, ways = ways_schedule(wl, pf, total_ways=20)
+        assert sched.is_feasible()
+        assert ways.sum() <= 20
+        assert np.allclose(sched.cache, ways / 20.0)
+        assert sched.finish_time_spread() < 1e-6
+
+    def test_more_ways_never_hurt_much(self, wl, pf):
+        """Finer granularity helps overall; the lookahead greedy is not
+        exactly optimal, so allow a small non-monotonicity tolerance."""
+        spans = [ways_schedule(wl, pf, total_ways=w)[0].makespan()
+                 for w in (2, 4, 16, 64)]
+        for a, b in zip(spans, spans[1:]):
+            assert b <= a * (1 + 0.01)
+        assert spans[-1] <= spans[0] * (1 + 1e-9)
+
+    def test_converges_to_continuous(self, pf):
+        """With many ways, UCP-over-the-model approaches the Theorem-3
+        continuous optimum."""
+        from repro.core import dominant_schedule
+
+        wl = npb_synth(8, np.random.default_rng(3), seq_range=None)
+        cont = dominant_schedule(wl, pf).makespan()
+        disc = ways_schedule(wl, pf, total_ways=512)[0].makespan()
+        assert disc == pytest.approx(cont, rel=1e-3)
+
+    def test_penalty_small_at_cat_scale(self, wl, pf):
+        """20 ways (CAT-scale) costs essentially nothing on TaihuLight."""
+        assert abs(granularity_penalty(wl, pf, total_ways=20)) < 0.02
+
+    def test_penalty_visible_at_coarse_granularity(self):
+        """4 ways forces lumpy allocations; the penalty is real."""
+        pens = [
+            granularity_penalty(
+                npb_synth(16, np.random.default_rng(s)), taihulight(), 4
+            )
+            for s in range(4)
+        ]
+        assert max(pens) > 0.02
+
+    def test_under_pressure_ucp_competitive(self):
+        """On a small LLC UCP may match or beat the greedy subset choice."""
+        pf = small_llc()
+        wl = npb_synth(12, np.random.default_rng(1)).with_miss_rate(0.5)
+        pen = granularity_penalty(wl, pf, total_ways=20)
+        assert pen < 0.1  # never catastrophically worse

@@ -1,0 +1,81 @@
+"""Tests for integer processor rounding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import dominant_schedule
+from repro.extensions import integer_schedule, round_processors, rounding_penalty
+from repro.machine import taihulight
+from repro.types import ModelError
+from repro.workloads import npb_synth
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+@pytest.fixture
+def sched(pf):
+    wl = npb_synth(16, np.random.default_rng(1))
+    return dominant_schedule(wl, pf, strategy="dominant", choice="minratio")
+
+
+class TestRoundProcessors:
+    @pytest.mark.parametrize("strategy", ["floor", "largest-remainder", "critical-path"])
+    def test_integrality_and_budget(self, sched, pf, strategy):
+        r = round_processors(sched.procs, sched.workload, pf, sched.cache,
+                             strategy=strategy)
+        assert np.all(r == np.round(r))
+        assert np.all(r >= 1)
+        assert r.sum() <= pf.p
+
+    def test_critical_path_no_worse_than_floor(self, sched, pf):
+        from repro.core.execution import execution_times
+
+        r_floor = round_processors(sched.procs, sched.workload, pf, sched.cache,
+                                   strategy="floor")
+        r_cp = round_processors(sched.procs, sched.workload, pf, sched.cache,
+                                strategy="critical-path")
+        t_floor = execution_times(sched.workload, pf, r_floor, sched.cache).max()
+        t_cp = execution_times(sched.workload, pf, r_cp, sched.cache).max()
+        assert t_cp <= t_floor * (1 + 1e-12)
+
+    def test_too_many_apps_rejected(self, rng):
+        pf = taihulight(p=8.0)
+        wl = npb_synth(16, rng)
+        sched = dominant_schedule(wl, pf, strategy="dominant", choice="minratio")
+        with pytest.raises(ModelError):
+            round_processors(sched.procs, wl, pf, sched.cache)
+
+    def test_unknown_strategy(self, sched, pf):
+        with pytest.raises(ModelError):
+            round_processors(sched.procs, sched.workload, pf, sched.cache,
+                             strategy="magic")
+
+
+class TestIntegerSchedule:
+    def test_feasible(self, sched):
+        s = integer_schedule(sched)
+        assert s.is_feasible()
+        assert np.all(s.procs == np.round(s.procs))
+
+    def test_penalty_nonnegative(self, sched):
+        """Integer restriction never improves the fractional makespan."""
+        assert rounding_penalty(sched) >= -1e-12
+
+    def test_penalty_small_for_homogeneous_workload(self, pf):
+        """Equal-sized apps: rounding costs little (procs are large)."""
+        wl = npb_synth(8, np.random.default_rng(0),
+                       work_range=(1e10, 1.01e10), seq_range=None)
+        sched = dominant_schedule(wl, pf, strategy="dominant", choice="minratio")
+        assert rounding_penalty(sched) < 0.05
+
+    def test_penalty_large_for_heterogeneous_workload(self, pf):
+        """Works spanning 4 decades need sub-processor shares; rounding
+        hurts badly - the paper's rationale for rational allocations."""
+        wl = npb_synth(16, np.random.default_rng(5), log_work=True)
+        sched = dominant_schedule(wl, pf, strategy="dominant", choice="minratio")
+        assert rounding_penalty(sched) > 0.05

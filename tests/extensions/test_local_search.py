@@ -1,0 +1,68 @@
+"""Tests for the subset local-search extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import dominant_schedule, get_scheduler
+from repro.core.heuristics import dominant_partition
+from repro.extensions import local_search_partition, local_search_schedule
+from repro.machine import small_llc, taihulight
+from repro.types import ModelError
+from repro.workloads import npb_synth
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self, synth16, pf):
+        start = dominant_partition(synth16, pf, "minratio")
+        res = local_search_partition(synth16, pf, start)
+        assert res.makespan <= res.initial_makespan * (1 + 1e-12)
+
+    def test_moves_counted(self, pf, rng):
+        wl = npb_synth(12, rng)
+        start = np.zeros(12, dtype=bool)  # deliberately bad start
+        res = local_search_partition(wl, pf, start)
+        assert res.moves >= 1  # adding any eligible app improves on 0cache
+        assert res.evaluations >= res.moves
+
+    def test_finds_optimum_from_bad_start_small(self):
+        """From the empty set, search reaches the exact optimum (n small)."""
+        from repro.theory import exact_optimal_schedule
+
+        pf = taihulight()
+        wl = npb_synth(6, np.random.default_rng(0), seq_range=None)
+        res = local_search_partition(wl, pf, np.zeros(6, dtype=bool))
+        exact = exact_optimal_schedule(wl, pf)
+        assert res.makespan == pytest.approx(exact.makespan, rel=1e-6)
+
+    def test_swap_moves_can_help_under_pressure(self):
+        pf = small_llc(p=16.0)
+        improved_any = False
+        for seed in range(10):
+            wl = npb_synth(10, np.random.default_rng(seed),
+                           seq_range=None).with_miss_rate(0.6)
+            start = dominant_partition(wl, pf, "minratio")
+            res = local_search_partition(wl, pf, start)
+            if res.moves > 0:
+                improved_any = True
+        assert improved_any
+
+    def test_wrong_mask_shape(self, synth16, pf):
+        with pytest.raises(ModelError):
+            local_search_partition(synth16, pf, np.zeros(4, dtype=bool))
+
+    def test_schedule_wrapper(self, synth16, pf):
+        s = local_search_schedule(synth16, pf)
+        base = dominant_schedule(synth16, pf, strategy="dominant", choice="minratio")
+        assert s.is_feasible()
+        assert s.makespan() <= base.makespan() * (1 + 1e-12)
+
+    def test_registered(self, synth16, pf):
+        s = get_scheduler("localsearch")(synth16, pf, None)
+        assert s.is_feasible()

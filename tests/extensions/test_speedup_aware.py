@@ -1,0 +1,74 @@
+"""Tests for the speedup-aware cache allocation extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import dominant_schedule, get_scheduler
+from repro.core.dominance import optimal_cache_fractions
+from repro.core.heuristics import dominant_partition
+from repro.extensions import speedup_aware_fractions, speedup_aware_schedule
+from repro.machine import taihulight
+from repro.types import ModelError
+from repro.workloads import npb_synth
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+class TestFixedPoint:
+    def test_reduces_to_theorem3_for_perfectly_parallel(self, npb6_pp, pf):
+        """With s = 0 the KKT rule is exactly Theorem 3."""
+        mask = np.ones(6, dtype=bool)
+        x_sa = speedup_aware_fractions(npb6_pp, pf, mask)
+        x_t3 = optimal_cache_fractions(npb6_pp, pf, mask)
+        assert np.allclose(x_sa, x_t3, atol=1e-8)
+
+    def test_fractions_valid(self, synth16, pf):
+        mask = dominant_partition(synth16, pf, "minratio")
+        x = speedup_aware_fractions(synth16, pf, mask)
+        assert np.all(x >= 0)
+        assert x.sum() == pytest.approx(1.0)
+        assert np.all(x[~mask] == 0.0)
+
+    def test_empty_subset(self, synth16, pf):
+        x = speedup_aware_fractions(synth16, pf, np.zeros(16, dtype=bool))
+        assert np.all(x == 0.0)
+
+    def test_wrong_shape(self, synth16, pf):
+        with pytest.raises(ModelError):
+            speedup_aware_fractions(synth16, pf, np.ones(3, dtype=bool))
+
+    def test_zero_weight_subset_rejected(self, pf):
+        from repro.core import Application, Workload
+
+        wl = Workload([Application(name="x", work=1e9, access_freq=0.0,
+                                   seq_fraction=0.1)])
+        with pytest.raises(ModelError):
+            speedup_aware_fractions(wl, pf, np.array([True]))
+
+
+class TestSchedule:
+    def test_never_worse_than_theorem3(self, pf):
+        """On the same subset, the extension beats or matches Theorem 3."""
+        for seed in range(6):
+            wl = npb_synth(16, np.random.default_rng(seed))
+            base = dominant_schedule(wl, pf, strategy="dominant", choice="minratio")
+            ext = speedup_aware_schedule(wl, pf)
+            assert ext.makespan() <= base.makespan() * (1 + 1e-9), seed
+
+    def test_strictly_better_on_skewed_amdahl(self, pf):
+        """With wildly different s_i, the extension finds real gains."""
+        rng = np.random.default_rng(3)
+        wl = npb_synth(16, rng, seq_range=(0.0, 0.4))
+        base = dominant_schedule(wl, pf, strategy="dominant", choice="minratio")
+        ext = speedup_aware_schedule(wl, pf)
+        assert ext.makespan() < base.makespan()
+
+    def test_registered(self, synth16, pf):
+        s = get_scheduler("speedup-aware")(synth16, pf, None)
+        assert s.is_feasible()
+        assert s.finish_time_spread() < 1e-6

@@ -1,0 +1,94 @@
+"""Tests for interference graphs and pairwise degradations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.interference import (
+    access_pressure,
+    corun_degradations,
+    interference_graph,
+    interference_matrix,
+    shared_cache_fractions,
+)
+from repro.machine import taihulight
+from repro.types import ModelError
+from repro.workloads import npb6
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+class TestSharedFractions:
+    def test_pressure_proportional(self, npb6_pp, pf):
+        mask = np.ones(6, dtype=bool)
+        x = shared_cache_fractions(npb6_pp, mask)
+        pressure = access_pressure(npb6_pp)
+        assert np.allclose(x, pressure / pressure.sum())
+        assert x.sum() == pytest.approx(1.0)
+
+    def test_non_members_zero(self, npb6_pp):
+        mask = np.array([True, True, False, False, False, False])
+        x = shared_cache_fractions(npb6_pp, mask)
+        assert np.all(x[2:] == 0.0)
+        assert x[:2].sum() == pytest.approx(1.0)
+
+    def test_empty_group(self, npb6_pp):
+        x = shared_cache_fractions(npb6_pp, np.zeros(6, dtype=bool))
+        assert np.all(x == 0.0)
+
+    def test_zero_pressure_splits_equally(self):
+        from repro.core import Application, Workload
+
+        wl = Workload([Application(name=f"t{i}", work=1e9, access_freq=0.0)
+                       for i in range(4)])
+        x = shared_cache_fractions(wl, np.ones(4, dtype=bool))
+        assert np.allclose(x, 0.25)
+
+    def test_wrong_shape(self, npb6_pp):
+        with pytest.raises(ModelError):
+            shared_cache_fractions(npb6_pp, np.ones(3, dtype=bool))
+
+
+class TestDegradations:
+    def test_alone_no_degradation(self, npb6_pp, pf):
+        mask = np.zeros(6, dtype=bool)
+        mask[0] = True
+        deg = corun_degradations(npb6_pp, pf, mask)
+        assert deg[0] == pytest.approx(1.0)
+
+    def test_degradation_at_least_one(self, npb6_pp, pf):
+        deg = corun_degradations(npb6_pp, pf, np.ones(6, dtype=bool))
+        assert np.all(deg >= 1.0 - 1e-12)
+
+    def test_bigger_groups_degrade_more(self, npb6_pp, pf):
+        pair = np.zeros(6, dtype=bool)
+        pair[[0, 1]] = True
+        all6 = np.ones(6, dtype=bool)
+        deg_pair = corun_degradations(npb6_pp, pf, pair)[0]
+        deg_all = corun_degradations(npb6_pp, pf, all6)[0]
+        assert deg_all >= deg_pair - 1e-12
+
+
+class TestMatrix:
+    def test_symmetric_zero_diagonal(self, npb6_pp, pf):
+        m = interference_matrix(npb6_pp, pf)
+        assert np.allclose(m, m.T)
+        assert np.all(np.diag(m) == 0.0)
+        assert np.all(m >= 0.0)
+
+    def test_graph_mirrors_matrix(self, npb6_pp, pf):
+        m = interference_matrix(npb6_pp, pf)
+        g = interference_graph(npb6_pp, pf)
+        assert g.number_of_nodes() == 6
+        assert g.number_of_edges() == 15
+        for i, j, data in g.edges(data=True):
+            assert data["weight"] == pytest.approx(m[i, j])
+
+    def test_node_names(self, rng, pf):
+        wl = npb6(rng=rng)
+        g = interference_graph(wl, pf)
+        assert g.nodes[0]["name"] == "CG"

@@ -1,0 +1,87 @@
+"""Tests for the min-weight-matching pairwise co-scheduler."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import get_scheduler
+from repro.interference import pair_makespan, pairwise_matching_schedule
+from repro.machine import taihulight
+from repro.workloads import npb_synth
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+class TestPairwiseSchedule:
+    def test_even_n_all_pairs(self, pf, rng):
+        wl = npb_synth(8, rng)
+        ps = pairwise_matching_schedule(wl, pf)
+        assert sorted(i for g in ps.groups for i in g) == list(range(8))
+        assert all(len(g) == 2 for g in ps.groups)
+
+    def test_odd_n_one_singleton(self, pf, rng):
+        wl = npb_synth(7, rng)
+        ps = pairwise_matching_schedule(wl, pf)
+        sizes = sorted(len(g) for g in ps.groups)
+        assert sizes == [1, 2, 2, 2]
+
+    def test_single_app(self, pf, rng):
+        wl = npb_synth(1, rng)
+        ps = pairwise_matching_schedule(wl, pf)
+        assert ps.groups == [(0,)]
+        solo = get_scheduler("allproccache")(wl, pf, None)
+        assert ps.makespan() == pytest.approx(solo.makespan())
+
+    def test_makespan_is_sum_of_batches(self, pf, rng):
+        wl = npb_synth(6, rng)
+        ps = pairwise_matching_schedule(wl, pf)
+        assert ps.makespan() == pytest.approx(ps.group_makespans().sum())
+        assert not ps.concurrent
+
+    def test_matching_is_optimal_for_pairs(self, pf):
+        """The chosen pairing beats every other perfect pairing (n=6)."""
+        wl = npb_synth(6, np.random.default_rng(2))
+        ps = pairwise_matching_schedule(wl, pf)
+        best = ps.makespan()
+
+        def pairings(items):
+            if not items:
+                yield []
+                return
+            a = items[0]
+            for k in range(1, len(items)):
+                b = items[k]
+                rest = items[1:k] + items[k + 1:]
+                for tail in pairings(rest):
+                    yield [(a, b)] + tail
+
+        for pairing in pairings(list(range(6))):
+            total = sum(pair_makespan(wl, pf, i, j) for i, j in pairing)
+            assert total >= best * (1 - 1e-9)
+
+    def test_beats_allproccache_but_loses_to_dominant(self, pf):
+        """The paper's thesis: pairwise time-slicing helps, full
+        partitioned co-scheduling helps more."""
+        for seed in range(4):
+            wl = npb_synth(10, np.random.default_rng(seed))
+            ps = pairwise_matching_schedule(wl, pf)
+            apc = get_scheduler("allproccache")(wl, pf, None)
+            dom = get_scheduler("dominant-minratio")(wl, pf, None)
+            assert ps.makespan() < apc.makespan(), seed
+            assert dom.makespan() < ps.makespan(), seed
+
+    def test_registered(self, pf, rng):
+        wl = npb_synth(4, rng)
+        s = get_scheduler("pairwise-matching")(wl, pf, None)
+        assert s.makespan() > 0
+
+    def test_describe(self, pf, rng):
+        wl = npb_synth(4, rng)
+        text = pairwise_matching_schedule(wl, pf).describe()
+        assert "batches" in text

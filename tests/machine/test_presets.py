@@ -1,0 +1,51 @@
+"""Tests for platform presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import custom, get_preset, small_llc, taihulight, xeon_e5_2690
+
+
+class TestPresets:
+    def test_taihulight_matches_paper(self):
+        pf = taihulight()
+        assert pf.p == 256
+        assert pf.cache_size == 32000e6
+        assert pf.latency_cache == 0.17
+        assert pf.latency_memory == 1.0
+        assert pf.alpha == 0.5
+
+    def test_taihulight_overrides(self):
+        assert taihulight(p=128).p == 128
+        assert taihulight(alpha=0.3).alpha == 0.3
+
+    def test_xeon(self):
+        pf = xeon_e5_2690()
+        assert pf.p == 8
+        assert pf.cache_size == 20e6
+
+    def test_xeon_multi_socket(self):
+        pf = xeon_e5_2690(sockets=2)
+        assert pf.p == 16
+        assert pf.cache_size == 40e6
+
+    def test_xeon_rejects_zero_sockets(self):
+        with pytest.raises(ValueError):
+            xeon_e5_2690(sockets=0)
+
+    def test_small_llc(self):
+        assert small_llc().cache_size == 1e9
+
+    def test_custom(self):
+        pf = custom(12, 5e8, alpha=0.4)
+        assert pf.p == 12
+        assert pf.alpha == 0.4
+
+    def test_get_preset(self):
+        assert get_preset("taihulight") == taihulight()
+        assert get_preset("TAIHULIGHT") == taihulight()
+
+    def test_get_preset_unknown(self):
+        with pytest.raises(KeyError):
+            get_preset("cray")

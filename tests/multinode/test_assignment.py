@@ -1,0 +1,127 @@
+"""Tests for multi-node assignment and cluster scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import taihulight
+from repro.multinode import (
+    exhaustive_assignment,
+    lpt_assignment,
+    lpt_refined_assignment,
+    round_robin_assignment,
+    schedule_cluster,
+)
+from repro.types import ModelError
+from repro.workloads import npb_synth
+
+
+@pytest.fixture
+def pf():
+    return taihulight(p=64.0)
+
+
+@pytest.fixture
+def wl(rng):
+    return npb_synth(12, rng)
+
+
+class TestAssignments:
+    def test_round_robin(self, wl, pf):
+        a = round_robin_assignment(wl, pf, 3)
+        assert a.tolist() == [i % 3 for i in range(12)]
+
+    def test_lpt_uses_all_nodes(self, wl, pf):
+        a = lpt_assignment(wl, pf, 4)
+        assert set(a.tolist()) == {0, 1, 2, 3}
+
+    def test_lpt_beats_round_robin_usually(self, pf):
+        wins = 0
+        for seed in range(8):
+            w = npb_synth(16, np.random.default_rng(seed))
+            rr = schedule_cluster(w, pf, round_robin_assignment(w, pf, 4)).makespan()
+            lpt = schedule_cluster(w, pf, lpt_assignment(w, pf, 4)).makespan()
+            if lpt <= rr * (1 + 1e-12):
+                wins += 1
+        assert wins >= 6
+
+    def test_refined_never_worse_than_lpt(self, pf):
+        for seed in range(5):
+            w = npb_synth(12, np.random.default_rng(seed))
+            lpt = schedule_cluster(w, pf, lpt_assignment(w, pf, 3)).makespan()
+            ref = schedule_cluster(w, pf, lpt_refined_assignment(w, pf, 3)).makespan()
+            assert ref <= lpt * (1 + 1e-12)
+
+    def test_single_node_is_single_schedule(self, wl, pf):
+        a = lpt_refined_assignment(wl, pf, 1)
+        assert np.all(a == 0)
+
+    def test_rejects_zero_nodes(self, wl, pf):
+        with pytest.raises(ModelError):
+            lpt_assignment(wl, pf, 0)
+
+
+class TestClusterSchedule:
+    def test_makespan_is_max_node(self, wl, pf):
+        cs = schedule_cluster(wl, pf, lpt_assignment(wl, pf, 3))
+        assert cs.makespan() == pytest.approx(cs.node_makespans().max())
+
+    def test_empty_node_allowed(self, wl, pf):
+        a = np.zeros(12, dtype=np.intp)
+        a[0] = 2  # node 1 stays empty
+        cs = schedule_cluster(wl, pf, a)
+        assert cs.node_schedules[1] is None
+        assert cs.node_makespans()[1] == 0.0
+
+    def test_describe_lists_nodes(self, wl, pf):
+        cs = schedule_cluster(wl, pf, lpt_assignment(wl, pf, 2))
+        text = cs.describe()
+        assert "node 0" in text and "node 1" in text
+
+    def test_wrong_assignment_shape(self, wl, pf):
+        with pytest.raises(ModelError):
+            schedule_cluster(wl, pf, np.zeros(5, dtype=np.intp))
+
+    def test_negative_node_rejected(self, wl, pf):
+        a = np.zeros(12, dtype=np.intp)
+        a[3] = -1
+        with pytest.raises(ModelError):
+            schedule_cluster(wl, pf, a)
+
+    def test_custom_node_scheduler(self, wl, pf):
+        from repro.core import get_scheduler
+
+        zero = lambda w, p: get_scheduler("0cache")(w, p, None)  # noqa: E731
+        cs = schedule_cluster(wl, pf, lpt_assignment(wl, pf, 2), node_scheduler=zero)
+        for s in cs.node_schedules:
+            assert np.all(s.cache == 0.0)
+
+    def test_imbalance_bounds(self, wl, pf):
+        cs = schedule_cluster(wl, pf, lpt_refined_assignment(wl, pf, 3))
+        assert 0.0 <= cs.imbalance() < 1.0
+
+
+class TestExhaustive:
+    def test_matches_or_beats_heuristics(self, pf):
+        for seed in range(3):
+            w = npb_synth(7, np.random.default_rng(seed))
+            _, best = exhaustive_assignment(w, pf, 2)
+            ref = schedule_cluster(w, pf, lpt_refined_assignment(w, pf, 2)).makespan()
+            assert best <= ref * (1 + 1e-9)
+
+    def test_one_node_trivial(self, pf, rng):
+        w = npb_synth(4, rng)
+        a, span = exhaustive_assignment(w, pf, 1)
+        assert np.all(a == 0)
+        assert span == pytest.approx(schedule_cluster(w, pf, a).makespan())
+
+    def test_size_limit(self, pf, rng):
+        with pytest.raises(ModelError):
+            exhaustive_assignment(npb_synth(13, rng), pf, 2)
+
+    def test_more_nodes_never_hurt(self, pf, rng):
+        w = npb_synth(6, rng)
+        spans = [exhaustive_assignment(w, pf, k)[1] for k in (1, 2, 3)]
+        assert spans[1] <= spans[0] * (1 + 1e-9)
+        assert spans[2] <= spans[1] * (1 + 1e-9)

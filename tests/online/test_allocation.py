@@ -1,0 +1,69 @@
+"""Tests for the remaining-work equal-finish allocator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.online import remaining_equal_finish
+from repro.types import ModelError
+
+
+class TestRemainingEqualFinish:
+    def test_fresh_apps_match_offline(self):
+        """With nothing executed, the solver matches the offline one."""
+        from repro.core.execution import access_cost_factor
+        from repro.core.processor_allocation import equal_finish_allocation
+        from repro.machine import taihulight
+        from repro.workloads import npb_synth
+
+        pf = taihulight()
+        wl = npb_synth(8, np.random.default_rng(0))
+        x = np.zeros(8)
+        off_procs, off_k = equal_finish_allocation(wl, pf, x)
+        factors = access_cost_factor(wl, pf, x)
+        on_procs, on_k = remaining_equal_finish(
+            wl.seq * wl.work, (1 - wl.seq) * wl.work, factors, pf.p
+        )
+        assert on_k == pytest.approx(off_k, rel=1e-6)
+        assert np.allclose(on_procs, off_procs, rtol=1e-5)
+
+    def test_equal_finish_property(self):
+        seq = np.array([100.0, 0.0, 50.0])
+        par = np.array([1000.0, 2000.0, 500.0])
+        fac = np.array([1.2, 1.5, 1.1])
+        procs, K = remaining_equal_finish(seq, par, fac, 16.0)
+        times = fac * (seq + par / procs)
+        assert np.allclose(times, K, rtol=1e-6)
+        assert procs.sum() <= 16.0 * (1 + 1e-9)
+
+    def test_budget_tight_when_binding(self):
+        par = np.array([1000.0, 2000.0])
+        procs, _ = remaining_equal_finish(np.zeros(2), par, np.ones(2), 8.0)
+        assert procs.sum() == pytest.approx(8.0)
+
+    def test_only_sequential_tails(self):
+        procs, K = remaining_equal_finish(
+            np.array([10.0, 20.0]), np.zeros(2), np.ones(2), 4.0
+        )
+        assert K == pytest.approx(20.0)
+        assert np.all(procs > 0)
+
+    def test_progress_shifts_processors(self):
+        """An app with less work left needs (and gets) fewer processors."""
+        par_even = np.array([1000.0, 1000.0])
+        p_even, _ = remaining_equal_finish(np.zeros(2), par_even, np.ones(2), 8.0)
+        par_skew = np.array([200.0, 1000.0])
+        p_skew, _ = remaining_equal_finish(np.zeros(2), par_skew, np.ones(2), 8.0)
+        assert p_skew[0] < p_even[0]
+        assert p_skew[1] > p_even[1]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            remaining_equal_finish([1.0], [1.0, 2.0], [1.0], 4.0)
+        with pytest.raises(ModelError):
+            remaining_equal_finish([0.0], [0.0], [1.0], 4.0)  # finished app
+        with pytest.raises(ModelError):
+            remaining_equal_finish([1.0], [1.0], [0.0], 4.0)  # zero factor
+        with pytest.raises(ModelError):
+            remaining_equal_finish([1.0], [1.0], [1.0], 0.0)

@@ -1,0 +1,90 @@
+"""Tests for the online arrival engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import get_scheduler
+from repro.machine import taihulight
+from repro.online import simulate_online
+from repro.types import ModelError
+from repro.workloads import npb_synth
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+@pytest.fixture
+def wl(rng):
+    return npb_synth(10, rng)
+
+
+class TestBatchArrivals:
+    def test_dominant_matches_offline(self, wl, pf):
+        """Everyone at t=0: the online dominant policy reproduces the
+        offline heuristic's makespan (tiny improvement allowed - it may
+        re-equalize at phase boundaries)."""
+        res = simulate_online(wl, pf, np.zeros(10), policy="dominant")
+        off = get_scheduler("dominant-minratio")(wl, pf, None).makespan()
+        assert res.makespan == pytest.approx(off, rel=1e-3)
+        assert res.makespan <= off * (1 + 1e-9)
+
+    def test_fcfs_matches_allproccache(self, wl, pf):
+        res = simulate_online(wl, pf, np.zeros(10), policy="fcfs")
+        apc = get_scheduler("allproccache")(wl, pf, None).makespan()
+        assert res.makespan == pytest.approx(apc, rel=1e-9)
+
+    def test_flow_equals_finish_at_zero_arrivals(self, wl, pf):
+        res = simulate_online(wl, pf, np.zeros(10), policy="fair")
+        assert np.allclose(res.flow_times, res.finish_times)
+
+
+class TestStaggeredArrivals:
+    @pytest.fixture
+    def arrivals(self, wl, pf):
+        base = get_scheduler("dominant-minratio")(wl, pf, None).makespan()
+        rng = np.random.default_rng(3)
+        return np.sort(rng.uniform(0, base, size=10))
+
+    def test_finish_after_arrival(self, wl, pf, arrivals):
+        for policy in ("dominant", "fair", "fcfs"):
+            res = simulate_online(wl, pf, arrivals, policy=policy)
+            assert np.all(res.finish_times > res.arrival_times)
+
+    def test_dominant_beats_fcfs_makespan(self, wl, pf, arrivals):
+        dom = simulate_online(wl, pf, arrivals, policy="dominant")
+        fcfs = simulate_online(wl, pf, arrivals, policy="fcfs")
+        assert dom.makespan < fcfs.makespan
+
+    def test_fair_sharing_helps_flow_time(self, wl, pf, arrivals):
+        """Documented finding: Lemma 1's equal-finish property is an
+        *offline* makespan principle; applied naively online it ties
+        short jobs to long ones, so Fair wins on mean flow."""
+        dom = simulate_online(wl, pf, arrivals, policy="dominant")
+        fair = simulate_online(wl, pf, arrivals, policy="fair")
+        assert fair.mean_flow < dom.mean_flow
+
+    def test_late_arrival_idles_machine(self, pf, rng):
+        wl = npb_synth(2, rng)
+        solo = simulate_online(wl[:1], pf, np.zeros(1), policy="dominant")
+        gap = 2 * solo.makespan
+        res = simulate_online(wl, pf, np.array([0.0, gap]), policy="dominant")
+        # second app starts only at its arrival
+        assert res.finish_times[1] > gap
+
+    def test_event_budget(self, wl, pf, arrivals):
+        with pytest.raises(ModelError):
+            simulate_online(wl, pf, arrivals, policy="dominant", max_events=2)
+
+    def test_unknown_policy(self, wl, pf):
+        with pytest.raises(ModelError):
+            simulate_online(wl, pf, np.zeros(10), policy="lifo")
+
+    def test_shape_validation(self, wl, pf):
+        with pytest.raises(ModelError):
+            simulate_online(wl, pf, np.zeros(3))
+        with pytest.raises(ModelError):
+            simulate_online(wl, pf, -np.ones(10))

@@ -1,0 +1,92 @@
+"""Tests for the periodic in-situ analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import get_scheduler
+from repro.machine import taihulight
+from repro.pipeline import (
+    is_feasible,
+    min_sustainable_period,
+    required_processors,
+    utilization,
+)
+from repro.types import ModelError, SolverError
+from repro.workloads import npb_synth
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+@pytest.fixture
+def wl(rng):
+    return npb_synth(8, rng)
+
+
+class TestMinPeriod:
+    def test_equals_makespan(self, wl, pf):
+        expected = get_scheduler("dominant-minratio")(wl, pf, None).makespan()
+        assert min_sustainable_period(wl, pf) == pytest.approx(expected)
+
+    def test_scheduler_matters(self, wl, pf):
+        dom = min_sustainable_period(wl, pf)
+        fair = min_sustainable_period(wl, pf, scheduler="fair")
+        assert dom < fair
+
+    def test_callable_scheduler(self, wl, pf):
+        fn = get_scheduler("0cache")
+        assert min_sustainable_period(wl, pf, scheduler=fn) == pytest.approx(
+            fn(wl, pf, None).makespan()
+        )
+
+
+class TestFeasibility:
+    def test_boundary(self, wl, pf):
+        T = min_sustainable_period(wl, pf)
+        assert is_feasible(T * 1.001, wl, pf)
+        assert not is_feasible(T * 0.999, wl, pf)
+
+    def test_utilization(self, wl, pf):
+        T = min_sustainable_period(wl, pf)
+        assert utilization(2 * T, wl, pf) == pytest.approx(0.5)
+        assert utilization(0.5 * T, wl, pf) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_period(self, wl, pf):
+        with pytest.raises(ModelError):
+            is_feasible(0.0, wl, pf)
+        with pytest.raises(ModelError):
+            utilization(-1.0, wl, pf)
+
+
+class TestRequiredProcessors:
+    def test_meets_period(self, wl, pf):
+        T = min_sustainable_period(wl, pf)
+        p = required_processors(2 * T, wl, pf)
+        assert p < pf.p  # a laxer deadline needs fewer processors
+        achieved = min_sustainable_period(wl, pf.with_processors(p))
+        assert achieved <= 2 * T * (1 + 1e-4)
+
+    def test_minimality(self, wl, pf):
+        T = min_sustainable_period(wl, pf)
+        p = required_processors(2 * T, wl, pf)
+        too_few = min_sustainable_period(wl, pf.with_processors(p * 0.9))
+        assert too_few > 2 * T
+
+    def test_tight_period_needs_more(self, pf, rng):
+        # Perfectly parallel kernels: any period is reachable with
+        # enough processors (no Amdahl floor).
+        wl = npb_synth(8, rng, seq_range=None)
+        T = min_sustainable_period(wl, pf)
+        p_more = required_processors(T * 0.8, wl, pf)
+        assert p_more > pf.p
+        achieved = min_sustainable_period(wl, pf.with_processors(p_more))
+        assert achieved <= T * 0.8 * (1 + 1e-4)
+
+    def test_unreachable_period(self, wl, pf):
+        """Amdahl bounds: no processor count makes the makespan ~0."""
+        with pytest.raises(SolverError):
+            required_processors(1.0, wl, pf, p_max=1e5)

@@ -1,0 +1,96 @@
+"""Tests for the batch-queue simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pipeline import jittered_arrivals, simulate_batch_queue
+from repro.types import ModelError
+
+
+class TestJitteredArrivals:
+    def test_regular_without_jitter(self, rng):
+        arr = jittered_arrivals(5, 10.0, rng)
+        assert np.allclose(arr, [0, 10, 20, 30, 40])
+
+    def test_jitter_keeps_order(self, rng):
+        arr = jittered_arrivals(200, 1.0, rng, jitter=0.4)
+        assert np.all(np.diff(arr) >= 0)
+        assert arr[0] >= 0
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ModelError):
+            jittered_arrivals(0, 1.0, rng)
+        with pytest.raises(ModelError):
+            jittered_arrivals(5, 0.0, rng)
+        with pytest.raises(ModelError):
+            jittered_arrivals(5, 1.0, rng, jitter=0.6)
+
+
+class TestQueue:
+    def test_underloaded_no_queueing(self):
+        arr = np.arange(10) * 10.0
+        stats = simulate_batch_queue(arr, np.full(10, 5.0))
+        assert stats.completed == 10
+        assert stats.dropped == 0
+        assert stats.max_queue_depth == 0
+        assert np.allclose(stats.latencies, 5.0)
+
+    def test_critically_loaded(self):
+        """Service == period: back-to-back, zero waiting."""
+        arr = np.arange(10) * 5.0
+        stats = simulate_batch_queue(arr, np.full(10, 5.0))
+        assert stats.dropped == 0
+        assert np.allclose(stats.latencies, 5.0)
+
+    def test_overloaded_infinite_buffer_latency_grows(self):
+        arr = np.arange(50) * 4.0
+        stats = simulate_batch_queue(arr, np.full(50, 5.0))
+        assert stats.dropped == 0
+        assert stats.latencies[-1] > stats.latencies[0]
+        # batch k waits (5-4)*k: linear divergence
+        assert stats.latencies[-1] == pytest.approx(5.0 + 49 * 1.0)
+
+    def test_overloaded_finite_buffer_drops(self):
+        arr = np.arange(100) * 4.0
+        stats = simulate_batch_queue(arr, np.full(100, 5.0), buffer_capacity=2)
+        assert stats.dropped > 0
+        assert stats.max_queue_depth <= 2 + 1  # transient count at arrival
+        assert 0 < stats.drop_rate < 1
+
+    def test_zero_buffer_strictest(self):
+        arr = np.arange(10) * 4.0
+        stats = simulate_batch_queue(arr, np.full(10, 5.0), buffer_capacity=0)
+        # only batches arriving at a free server are admitted
+        assert stats.completed + stats.dropped == 10
+        assert stats.dropped >= 1
+
+    def test_makespan_is_last_finish(self):
+        stats = simulate_batch_queue([0.0, 1.0], [2.0, 2.0])
+        assert stats.makespan == pytest.approx(4.0)
+
+    def test_stats_properties(self):
+        stats = simulate_batch_queue([0.0, 10.0], [1.0, 2.0])
+        assert stats.mean_latency == pytest.approx(1.5)
+        assert stats.p99_latency <= 2.0
+        assert stats.drop_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            simulate_batch_queue([1.0, 0.5], [1.0, 1.0])  # decreasing arrivals
+        with pytest.raises(ModelError):
+            simulate_batch_queue([0.0], [0.0])  # zero service
+        with pytest.raises(ModelError):
+            simulate_batch_queue([], [])
+        with pytest.raises(ModelError):
+            simulate_batch_queue([0.0], [1.0], buffer_capacity=-1)
+
+    def test_stability_theorem(self, rng):
+        """Analytic condition: stable iff mean service < period."""
+        period = 10.0
+        arr = jittered_arrivals(300, period, rng, jitter=0.2)
+        stable = simulate_batch_queue(arr, np.full(300, 8.0), buffer_capacity=5)
+        unstable = simulate_batch_queue(arr, np.full(300, 12.0), buffer_capacity=5)
+        assert stable.drop_rate == 0.0
+        assert unstable.drop_rate > 0.1

@@ -1,0 +1,86 @@
+"""Tests for the discrete-event co-execution engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Application, Schedule, Workload, get_scheduler
+from repro.machine import taihulight
+from repro.simulate import simulate_schedule
+from repro.types import ModelError
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+class TestStaticPolicy:
+    def test_matches_model_perfectly_parallel(self, npb6_pp, pf):
+        s = get_scheduler("dominant-minratio")(npb6_pp, pf, None)
+        res = simulate_schedule(s)
+        assert np.allclose(res.finish_times, s.times(), rtol=1e-12)
+        assert res.makespan == pytest.approx(s.makespan())
+
+    def test_matches_model_amdahl(self, synth16, pf):
+        s = get_scheduler("fair")(synth16, pf, None)
+        res = simulate_schedule(s)
+        assert np.allclose(res.finish_times, s.times(), rtol=1e-9)
+
+    def test_event_log_ordering(self, synth16, pf):
+        s = get_scheduler("dominant-minratio")(synth16, pf, None)
+        res = simulate_schedule(s)
+        times = [t for t, _, _ in res.events]
+        assert times == sorted(times)
+        done = [i for _, kind, i in res.events if kind == "done"]
+        assert sorted(done) == list(range(16))
+
+    def test_seq_phase_before_done(self, pf):
+        wl = Workload([Application(name="x", work=1e9, seq_fraction=0.3,
+                                   access_freq=0.5, miss_rate=0.01)])
+        s = Schedule(wl, pf, np.array([float(pf.p)]), np.array([1.0]))
+        res = simulate_schedule(s)
+        kinds = [k for _, k, _ in res.events]
+        assert kinds == ["seq-done", "done"]
+        # the sequential phase takes s*w*factor time units
+        seq_done_t = res.events[0][0]
+        assert seq_done_t == pytest.approx(0.3 * s.times()[0] * pf.p
+                                           / (0.3 * pf.p + 0.7), rel=1e-9)
+
+    def test_peak_processors(self, synth16, pf):
+        s = get_scheduler("dominant-minratio")(synth16, pf, None)
+        res = simulate_schedule(s)
+        assert res.peak_processors == pytest.approx(s.procs.sum())
+
+    def test_unknown_policy(self, synth16, pf):
+        s = get_scheduler("0cache")(synth16, pf, None)
+        with pytest.raises(ModelError):
+            simulate_schedule(s, policy="greedy")
+
+
+class TestWorkConserving:
+    def test_never_worse_than_static(self, synth16, pf):
+        for name in ("fair", "dominant-minratio", "0cache"):
+            s = get_scheduler(name)(synth16, pf, None)
+            static = simulate_schedule(s, policy="static")
+            wc = simulate_schedule(s, policy="work-conserving")
+            assert wc.makespan <= static.makespan * (1 + 1e-9), name
+
+    def test_gains_on_unbalanced_schedule(self, pf):
+        """Two equal apps, lopsided processors: reallocation helps."""
+        wl = Workload([
+            Application(name="a", work=1e9, access_freq=0.5, miss_rate=0.01),
+            Application(name="b", work=1e9, access_freq=0.5, miss_rate=0.01),
+        ])
+        s = Schedule(wl, pf, np.array([200.0, 56.0]), np.zeros(2))
+        static = simulate_schedule(s, policy="static")
+        wc = simulate_schedule(s, policy="work-conserving")
+        assert wc.makespan < static.makespan * 0.99
+
+    def test_noop_on_equal_finish(self, synth16, pf):
+        """Equal-finish schedules leave nothing for reallocation."""
+        s = get_scheduler("dominant-minratio")(synth16, pf, None)
+        static = simulate_schedule(s, policy="static")
+        wc = simulate_schedule(s, policy="work-conserving")
+        assert wc.makespan == pytest.approx(static.makespan, rel=1e-9)

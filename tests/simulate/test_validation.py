@@ -1,0 +1,46 @@
+"""Tests for model-vs-simulation validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import get_scheduler
+from repro.machine import taihulight
+from repro.simulate import validate_schedule, work_conserving_gain
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+class TestValidate:
+    def test_all_schedulers_agree_with_model(self, synth16, pf):
+        rng = np.random.default_rng(0)
+        for name in ("dominant-minratio", "dominantrev-maxratio", "fair",
+                      "0cache", "randompart"):
+            s = get_scheduler(name)(synth16, pf, rng)
+            rep = validate_schedule(s)
+            assert rep.agrees, f"{name}: err={rep.max_relative_error}"
+
+    def test_report_fields(self, synth16, pf):
+        s = get_scheduler("fair")(synth16, pf, None)
+        rep = validate_schedule(s)
+        assert rep.model_times.shape == (16,)
+        assert rep.simulated_times.shape == (16,)
+        assert rep.max_relative_error >= 0
+
+
+class TestWorkConservingGain:
+    def test_zero_for_equal_finish(self, synth16, pf):
+        s = get_scheduler("dominant-minratio")(synth16, pf, None)
+        gain, _ = work_conserving_gain(s)
+        assert gain == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_fair(self, synth16, pf):
+        """Fair wastes processors on early finishers; reclaiming helps."""
+        s = get_scheduler("fair")(synth16, pf, None)
+        gain, result = work_conserving_gain(s)
+        assert gain > 0.05
+        assert result.policy == "work-conserving"

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(["figure", "fig3", "--reps", "2"])
+        assert args.figure_id == "fig3"
+        assert args.reps == 2
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "dominant-minratio" in out
+        assert "fig18" in out
+        assert "npb-synth" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "--napps", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_schedule_every_dataset(self, capsys):
+        for dataset in ("npb-6", "npb-synth", "random"):
+            assert main(["schedule", "--dataset", dataset, "--napps", "4"]) == 0
+
+    def test_figure_runs_small(self, capsys, monkeypatch):
+        import numpy as np
+
+        import repro.cli as cli
+
+        # Shrink the sweep so the test is fast.
+        orig = cli.build_figure
+
+        def small(figure_id, **kw):
+            return orig(figure_id, points=np.array([2.0, 4.0]), **kw)
+
+        monkeypatch.setattr(cli, "build_figure", small)
+        assert main(["figure", "fig3", "--reps", "1", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "legend:" in out
+
+    def test_figure_csv(self, tmp_path, monkeypatch, capsys):
+        import numpy as np
+
+        import repro.cli as cli
+
+        orig = cli.build_figure
+        monkeypatch.setattr(
+            cli, "build_figure",
+            lambda fid, **kw: orig(fid, points=np.array([2.0]), **kw),
+        )
+        csv_path = tmp_path / "fig1.csv"
+        assert main(["figure", "fig1", "--reps", "1", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "dominant-minratio" in header
+
+    def test_cluster(self, capsys):
+        assert main(["cluster", "--napps", "8", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "lpt-refined" in out and "node 0" in out
+
+    def test_pipeline(self, capsys):
+        assert main(["pipeline", "--napps", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "min period" in out and "dominant-minratio" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--napps", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "MISMATCH" not in out
+
+    def test_figure_custom_normalization(self, monkeypatch, capsys):
+        import numpy as np
+
+        import repro.cli as cli
+
+        orig = cli.build_figure
+        monkeypatch.setattr(
+            cli, "build_figure",
+            lambda fid, **kw: orig(fid, points=np.array([2.0]), **kw),
+        )
+        assert main(["figure", "fig3", "--reps", "1", "--normalize", "0cache"]) == 0
+        assert "normalized by 0cache" in capsys.readouterr().out

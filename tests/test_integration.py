@@ -1,0 +1,122 @@
+"""Cross-module integration tests: the paper's headline claims.
+
+These tests assert the *shapes* the evaluation section reports, at
+reduced repetition counts — the benchmark harness regenerates the full
+figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import get_scheduler
+from repro.experiments import build_figure, run_experiment
+from repro.machine import taihulight
+from repro.simulate import validate_schedule
+from repro.workloads import npb_synth
+
+
+class TestHeadlineClaims:
+    def test_fig1_85_percent_gain_at_scale(self):
+        """Fig. 1: >= ~85% gain over AllProcCache once n >= 50."""
+        exp = build_figure("fig1", reps=3, points=np.array([64.0, 128.0]))
+        res = run_experiment(exp)
+        norm = res.normalized(by="allproccache")
+        for name in res.schedulers:
+            if name == "allproccache":
+                continue
+            assert norm[name][0] < 0.25, name   # n = 64
+            assert norm[name][1] < 0.15, name   # n = 128
+
+    def test_fig1_six_heuristics_similar(self):
+        """Fig. 1: the six variants are within a few percent of each other."""
+        exp = build_figure("fig1", reps=3, points=np.array([64.0]))
+        res = run_experiment(exp)
+        spans = [res.mean(n)[0] for n in res.schedulers if n != "allproccache"]
+        assert max(spans) / min(spans) < 1.1
+
+    def test_fig3_ranking(self):
+        """Fig. 3: DominantMinRatio < RandomPart/0cache < Fair at n=128."""
+        exp = build_figure("fig3", reps=5, points=np.array([128.0]))
+        res = run_experiment(exp)
+        norm = res.normalized(by="dominant-minratio")
+        assert norm["randompart"][0] > 1.0
+        assert norm["0cache"][0] > 1.0
+        assert norm["fair"][0] > norm["0cache"][0]
+
+    def test_fig5_cache_allocation_gain_over_0cache(self):
+        """Fig. 5: clever cache allocation buys > 20% vs 0cache."""
+        exp = build_figure("fig5", reps=5, points=np.array([256.0]))
+        res = run_experiment(exp)
+        norm = res.normalized(by="dominant-minratio")
+        assert norm["0cache"][0] > 1.2
+
+    def test_fig6_fair_approaches_dominant_as_s_grows(self):
+        """Fig. 6: Fair gets closer to DominantMinRatio at larger s."""
+        exp = build_figure("fig6", reps=5, points=np.array([0.01, 0.15]))
+        res = run_experiment(exp)
+        norm = res.normalized(by="dominant-minratio")
+        assert norm["fair"][1] < norm["fair"][0]
+
+    def test_fig6_coscheduling_gain_even_at_tiny_s(self):
+        """Fig. 6's surprise: > 50% gain vs AllProcCache at s = 0.01."""
+        exp = build_figure("fig6", reps=5, points=np.array([0.01]))
+        res = run_experiment(exp)
+        norm = res.normalized(by="allproccache")
+        assert norm["dominant-minratio"][0] < 0.55
+
+    def test_fig2_choice_function_ranking(self):
+        """Fig. 2: Dominant+MinRatio ~ DominantRev+MaxRatio best;
+        Dominant+MaxRatio ~ DominantRev+MinRatio worst (high miss rate,
+        1 GB LLC)."""
+        exp = build_figure("fig2", reps=8, points=np.array([0.6]))
+        res = run_experiment(exp)
+        norm = res.normalized(by="dominant-minratio")
+        good = max(norm["dominant-minratio"][0], norm["dominantrev-maxratio"][0])
+        bad = min(norm["dominant-maxratio"][0], norm["dominantrev-minratio"][0])
+        assert bad >= good * 0.999
+
+    def test_fig7_spread_shrinks_with_napps(self):
+        """Fig. 7: per-app allocation spread decreases as n grows."""
+        exp = build_figure("fig7", reps=3, points=np.array([8.0, 128.0]))
+        res = run_experiment(exp)
+        spread = (res.mean("dominant-minratio", "proc_max")
+                  - res.mean("dominant-minratio", "proc_min"))
+        assert spread[1] < spread[0]
+
+
+class TestModelSimulationAgreement:
+    def test_every_paper_strategy_simulates_correctly(self):
+        pf = taihulight()
+        wl = npb_synth(32, np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        for name in ("dominant-minratio", "dominant-maxratio", "dominant-random",
+                      "dominantrev-minratio", "dominantrev-maxratio",
+                      "dominantrev-random", "fair", "0cache", "randompart"):
+            sched = get_scheduler(name)(wl, pf, rng)
+            assert validate_schedule(sched).agrees, name
+
+
+class TestEndToEndPipeline:
+    def test_trace_to_schedule(self):
+        """Full path: synthetic traces -> profiling -> co-schedule."""
+        from repro.cachesim import profile_application, zipf_stream
+        from repro.core import Workload
+        from repro.machine import xeon_e5_2690
+
+        rng = np.random.default_rng(0)
+        apps = []
+        for i, skew in enumerate((1.1, 1.3, 1.6)):
+            trace = zipf_stream(60_000, 40_000, rng, skew=skew)
+            app, _, _ = profile_application(
+                f"kern{i}", trace, work=float(10 ** (9 + i)),
+                operations_per_access=2.0, seq_fraction=0.05,
+            )
+            apps.append(app)
+        wl = Workload(apps)
+        pf = xeon_e5_2690()
+        dom = get_scheduler("dominant-minratio")(wl, pf, None)
+        apc = get_scheduler("allproccache")(wl, pf, None)
+        assert dom.is_feasible()
+        assert dom.makespan() < apc.makespan()

@@ -1,0 +1,88 @@
+"""Tests for the exhaustive exact solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import dominant_schedule, get_scheduler
+from repro.machine import small_llc, taihulight
+from repro.theory import best_subset_schedule, exact_optimal_schedule, iter_subsets
+from repro.types import ModelError
+from repro.workloads import npb_synth
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+class TestIterSubsets:
+    def test_counts(self):
+        assert sum(1 for _ in iter_subsets(4)) == 16
+
+    def test_includes_empty_and_full(self):
+        masks = list(iter_subsets(3))
+        assert any(not m.any() for m in masks)
+        assert any(m.all() for m in masks)
+
+    def test_size_limit(self):
+        with pytest.raises(ModelError):
+            list(iter_subsets(21))
+
+
+class TestExactSolver:
+    def test_npb6_optimum_is_dominant(self, npb6_pp, pf):
+        res = exact_optimal_schedule(npb6_pp, pf)
+        assert res.dominant
+        assert res.evaluated == 64
+
+    def test_heuristic_matches_exact_on_npb6(self, npb6_pp, pf):
+        res = exact_optimal_schedule(npb6_pp, pf)
+        h = dominant_schedule(npb6_pp, pf, strategy="dominant", choice="minratio")
+        assert h.makespan() == pytest.approx(res.makespan, rel=1e-9)
+
+    def test_heuristics_near_optimal_small_instances(self, pf):
+        """Optimality gap of DominantMinRatio on random small instances."""
+        for seed in range(8):
+            wl = npb_synth(8, np.random.default_rng(seed), seq_range=None)
+            res = exact_optimal_schedule(wl, pf)
+            h = dominant_schedule(wl, pf, strategy="dominant", choice="minratio")
+            gap = h.makespan() / res.makespan - 1
+            assert gap <= 1e-6, f"seed {seed}: gap {gap}"
+
+    def test_gap_can_exist_under_pressure(self):
+        """On a tiny LLC with high miss rates the greedy can be beaten
+        (or match) - either way exact is a valid lower bound."""
+        pf = small_llc(p=16.0)
+        found_gap = False
+        for seed in range(20):
+            wl = npb_synth(9, np.random.default_rng(seed),
+                           seq_range=None).with_miss_rate(0.6)
+            res = exact_optimal_schedule(wl, pf)
+            h = dominant_schedule(wl, pf, strategy="dominant", choice="minratio")
+            assert h.makespan() >= res.makespan * (1 - 1e-9)
+            if h.makespan() > res.makespan * (1 + 1e-9):
+                found_gap = True
+        # The greedy is a heuristic, not exact; some instance shows a gap.
+        assert found_gap
+
+    def test_requires_perfectly_parallel(self, synth16, pf):
+        with pytest.raises(ModelError):
+            exact_optimal_schedule(synth16[:8], pf)
+
+    def test_requires_infinite_footprint(self, pf):
+        from repro.core import Application, Workload
+
+        wl = Workload([Application(name="x", work=1e9, access_freq=0.5,
+                                   miss_rate=0.01, footprint=1e6)])
+        with pytest.raises(ModelError):
+            exact_optimal_schedule(wl, pf)
+
+    def test_best_subset_amdahl(self, pf, rng):
+        """For Amdahl apps, best_subset lower-bounds every heuristic."""
+        wl = npb_synth(8, rng)
+        res = best_subset_schedule(wl, pf)
+        for name in ("dominant-minratio", "dominantrev-maxratio", "0cache"):
+            h = get_scheduler(name)(wl, pf, np.random.default_rng(0))
+            assert h.makespan() >= res.makespan * (1 - 1e-9), name

@@ -1,0 +1,99 @@
+"""Tests for the knapsack instance type and exact solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import KnapsackInstance, decide, solve_bruteforce, solve_dp
+from repro.types import ModelError
+
+
+def _inst(**kw):
+    base = dict(sizes=(3, 4, 5), values=(4, 5, 6), capacity=7, target=9)
+    base.update(kw)
+    return KnapsackInstance(**base)
+
+
+class TestInstance:
+    def test_valid(self):
+        inst = _inst()
+        assert inst.n == 3
+
+    @pytest.mark.parametrize("kw", [
+        dict(sizes=(3, 4)),                  # length mismatch
+        dict(sizes=()),                      # empty (with values=())
+        dict(sizes=(0, 4, 5)),               # non-positive size
+        dict(values=(4, -5, 6)),             # non-positive value
+        dict(capacity=0),
+        dict(target=0),
+        dict(sizes=(3.5, 4, 5)),             # non-integer
+    ])
+    def test_rejects_invalid(self, kw):
+        if kw.get("sizes") == ():
+            kw["values"] = ()
+        with pytest.raises(ModelError):
+            _inst(**kw)
+
+    def test_evaluate(self):
+        inst = _inst()
+        assert inst.evaluate([0, 2]) == (8, 10)
+
+    def test_certificate_check(self):
+        inst = _inst()
+        assert inst.is_yes_certificate([0, 1])       # size 7 <= 7, value 9 >= 9
+        assert not inst.is_yes_certificate([0, 2])   # size 8 > 7
+        assert not inst.is_yes_certificate([0])      # value 4 < 9
+
+
+class TestSolvers:
+    def test_dp_simple_yes(self):
+        value, subset = solve_dp(_inst())
+        assert value == 9
+        assert _inst().is_yes_certificate(subset)
+
+    def test_dp_witness_is_valid(self):
+        inst = KnapsackInstance(sizes=(2, 3, 4, 5), values=(3, 4, 5, 8),
+                                capacity=9, target=12)
+        value, subset = solve_dp(inst)
+        total_u, total_v = inst.evaluate(subset)
+        assert total_u <= inst.capacity
+        assert total_v == value
+
+    def test_oversized_item_ignored(self):
+        inst = KnapsackInstance(sizes=(100, 2), values=(1000, 3), capacity=5, target=3)
+        value, subset = solve_dp(inst)
+        assert value == 3
+        assert subset == frozenset({1})
+
+    def test_decide_no(self):
+        inst = KnapsackInstance(sizes=(5, 5), values=(3, 3), capacity=4, target=3)
+        assert decide(inst)[0] is False
+
+    def test_bruteforce_limit(self):
+        inst = KnapsackInstance(sizes=tuple([1] * 25), values=tuple([1] * 25),
+                                capacity=5, target=5)
+        with pytest.raises(ModelError):
+            solve_bruteforce(inst)
+
+    def test_decide_unknown_method(self):
+        with pytest.raises(ModelError):
+            decide(_inst(), method="magic")
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_dp_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 9))
+        sizes = tuple(int(v) for v in rng.integers(1, 12, size=n))
+        values = tuple(int(v) for v in rng.integers(1, 15, size=n))
+        capacity = int(rng.integers(1, 30))
+        inst = KnapsackInstance(sizes=sizes, values=values, capacity=capacity, target=1)
+        v_dp, s_dp = solve_dp(inst)
+        v_bf, s_bf = solve_bruteforce(inst)
+        assert v_dp == v_bf
+        # Witnesses may differ but must both be optimal and feasible.
+        assert inst.evaluate(s_dp)[0] <= capacity
+        assert inst.evaluate(s_dp)[1] == v_dp

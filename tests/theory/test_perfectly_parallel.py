@@ -1,0 +1,99 @@
+"""Tests for the Section 4 structural results (Lemmas 1-3, Theorem 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Schedule
+from repro.core.dominance import is_dominant
+from repro.machine import taihulight
+from repro.theory import (
+    equalize_finish_times,
+    improve_non_dominant,
+    iterate_to_dominant,
+    lemma2_schedule,
+)
+from repro.types import ModelError
+
+
+@pytest.fixture
+def pf():
+    return taihulight()
+
+
+class TestEqualize:
+    def test_never_worse(self, synth16_pp, pf, rng):
+        """Lemma 1: equalizing finish times cannot increase the makespan."""
+        for _ in range(10):
+            raw = rng.random(16) + 0.05
+            procs = pf.p * raw / raw.sum()
+            x = np.zeros(16)
+            before = Schedule(synth16_pp, pf, procs, x)
+            after = equalize_finish_times(before)
+            assert after.makespan() <= before.makespan() * (1 + 1e-12)
+            assert after.finish_time_spread() < 1e-9
+
+    def test_preserves_budget(self, synth16_pp, pf, rng):
+        raw = rng.random(16) + 0.05
+        procs = 0.5 * pf.p * raw / raw.sum()  # only half the machine
+        before = Schedule(synth16_pp, pf, procs, np.zeros(16))
+        after = equalize_finish_times(before)
+        assert after.procs.sum() == pytest.approx(before.procs.sum())
+
+    def test_requires_perfectly_parallel(self, synth16, pf):
+        s = Schedule(synth16, pf, np.full(16, pf.p / 16), np.zeros(16))
+        with pytest.raises(ModelError):
+            equalize_finish_times(s)
+
+
+class TestLemma2Schedule:
+    def test_matches_closed_form(self, npb6_pp, pf):
+        x = np.full(6, 1 / 6)
+        s = lemma2_schedule(npb6_pp, pf, x)
+        assert s.finish_time_spread() < 1e-9
+        assert s.procs.sum() == pytest.approx(pf.p)
+
+
+class TestTheorem2:
+    def _non_dominant_start(self, workload, pf):
+        mask = np.ones(workload.n, dtype=bool)
+        if is_dominant(workload, pf, mask):
+            pytest.skip("workload is dominant in full; no improvement to test")
+        return mask
+
+    def test_improvement_step_removes_violator(self, rng):
+        from repro.machine import small_llc
+        from repro.workloads import npb_synth
+
+        pf = small_llc()
+        wl = npb_synth(64, rng, seq_range=None).with_miss_rate(0.5)
+        mask = self._non_dominant_start(wl, pf)
+        new_mask = improve_non_dominant(wl, pf, mask)
+        assert new_mask.sum() == mask.sum() - 1
+
+    def test_improve_dominant_raises(self, npb6_pp, pf):
+        mask = np.ones(6, dtype=bool)
+        assert is_dominant(npb6_pp, pf, mask)
+        with pytest.raises(ModelError):
+            improve_non_dominant(npb6_pp, pf, mask)
+
+    def test_iterate_reaches_dominance_with_monotone_makespan(self, pf, rng):
+        from repro.workloads import npb_synth
+
+        wl = npb_synth(96, rng, seq_range=None)
+        mask, trajectory = iterate_to_dominant(wl, pf, np.ones(96, dtype=bool))
+        assert is_dominant(wl, pf, mask)
+        diffs = np.diff(trajectory)
+        assert np.all(diffs <= 1e-9 * trajectory[0])
+
+    def test_iterate_on_small_llc(self, rng):
+        """On a tiny LLC most apps must be evicted - stress the loop."""
+        from repro.machine import small_llc
+        from repro.workloads import npb_synth
+
+        pf = small_llc()
+        wl = npb_synth(128, rng, seq_range=None).with_miss_rate(0.5)
+        mask, trajectory = iterate_to_dominant(wl, pf, np.ones(128, dtype=bool))
+        assert is_dominant(wl, pf, mask)
+        assert len(trajectory) >= 2  # at least one eviction happened

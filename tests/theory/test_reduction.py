@@ -1,0 +1,124 @@
+"""Tests for the Theorem-1 reduction (Knapsack -> CoSchedCache)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import (
+    KnapsackInstance,
+    certificate_to_fractions,
+    decide,
+    decide_reduced,
+    fractions_to_certificate,
+    reduce_knapsack,
+)
+from repro.types import ModelError
+
+YES_INSTANCE = KnapsackInstance(sizes=(3, 4, 5, 2), values=(6, 7, 8, 3),
+                                capacity=9, target=15)
+NO_INSTANCE = KnapsackInstance(sizes=(5, 5, 5), values=(4, 4, 4),
+                               capacity=9, target=12)
+
+
+class TestConstruction:
+    def test_constants(self):
+        red = reduce_knapsack(YES_INSTANCE)
+        n, U = YES_INSTANCE.n, YES_INSTANCE.capacity
+        N = max(n, 2 * U + 1)
+        assert red.eps == pytest.approx(1.0 / (N * (N + 1)))
+        assert red.eta == pytest.approx(1.0 - 1.0 / N)
+
+    def test_applications_perfectly_parallel(self):
+        red = reduce_knapsack(YES_INSTANCE)
+        assert red.workload.is_perfectly_parallel
+
+    def test_miss_coefficients_match_d(self):
+        red = reduce_knapsack(YES_INSTANCE, alpha=0.5)
+        d = red.workload.miss_coefficients(red.platform)
+        u = np.asarray(YES_INSTANCE.sizes, dtype=float)
+        expected = (u * red.eta / YES_INSTANCE.capacity) ** 0.5
+        assert np.allclose(d, expected)
+
+    def test_footprints_encode_e(self):
+        red = reduce_knapsack(YES_INSTANCE, alpha=0.5)
+        d_root = (np.asarray(YES_INSTANCE.sizes, dtype=float)
+                  * red.eta / YES_INSTANCE.capacity)
+        e_root = d_root + red.eps
+        assert np.allclose(red.workload.footprint / red.platform.cache_size, e_root)
+
+    def test_rejects_oversized_items(self):
+        inst = KnapsackInstance(sizes=(20,), values=(5,), capacity=9, target=5)
+        with pytest.raises(ModelError):
+            reduce_knapsack(inst)
+
+
+class TestForwardDirection:
+    def test_yes_certificate_accepted(self):
+        answer, witness = decide(YES_INSTANCE)
+        assert answer
+        red = reduce_knapsack(YES_INSTANCE)
+        x = certificate_to_fractions(red, witness)
+        assert x.sum() <= 1 + 1e-12
+        assert red.accepts(x)
+
+    def test_fractions_respect_footprints(self):
+        _, witness = decide(YES_INSTANCE)
+        red = reduce_knapsack(YES_INSTANCE)
+        x = certificate_to_fractions(red, witness)
+        caps = red.workload.footprint / red.platform.cache_size
+        assert np.all(x <= caps + 1e-15)
+
+    def test_bad_index_rejected(self):
+        red = reduce_knapsack(YES_INSTANCE)
+        with pytest.raises(ModelError):
+            certificate_to_fractions(red, [99])
+
+
+class TestBackwardDirection:
+    def test_witness_subset_is_knapsack_certificate(self):
+        red = reduce_knapsack(YES_INSTANCE)
+        answer, x = decide_reduced(red)
+        assert answer and x is not None
+        subset = fractions_to_certificate(red, x)
+        assert YES_INSTANCE.is_yes_certificate(subset)
+
+    def test_no_instance_rejected(self):
+        red = reduce_knapsack(NO_INSTANCE)
+        answer, x = decide_reduced(red)
+        assert not answer and x is None
+
+
+class TestEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances_agree(self, seed):
+        """decide(I1) == decide_reduced(reduce(I1)) on random instances."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        capacity = int(rng.integers(3, 12))
+        sizes = tuple(int(v) for v in rng.integers(1, capacity + 1, size=n))
+        values = tuple(int(v) for v in rng.integers(1, 10, size=n))
+        # Pick a target near the achievable optimum so both answers occur.
+        from repro.theory import solve_dp
+
+        best, _ = solve_dp(
+            KnapsackInstance(sizes=sizes, values=values, capacity=capacity, target=1)
+        )
+        target = max(1, best + int(rng.integers(-2, 3)))
+        inst = KnapsackInstance(sizes=sizes, values=values,
+                                capacity=capacity, target=target)
+        expected = decide(inst)[0]
+        red = reduce_knapsack(inst)
+        got = decide_reduced(red)[0]
+        assert got == expected
+
+    def test_alpha_variants(self):
+        """The construction works for any alpha in (0, 1]."""
+        for alpha in (0.3, 0.5, 0.7, 1.0):
+            red = reduce_knapsack(YES_INSTANCE, alpha=alpha)
+            assert decide_reduced(red)[0]
+            red_no = reduce_knapsack(NO_INSTANCE, alpha=alpha)
+            assert not decide_reduced(red_no)[0]

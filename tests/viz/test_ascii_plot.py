@@ -1,0 +1,62 @@
+"""Tests for the ASCII plotting helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.types import ModelError
+from repro.viz import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out = ascii_plot(x, {"up": x, "down": x[::-1]}, title="demo")
+        assert "demo" in out
+        assert "legend:" in out
+        assert "o=up" in out and "x=down" in out
+
+    def test_glyphs_placed(self):
+        x = np.array([0.0, 1.0])
+        out = ascii_plot(x, {"s": np.array([0.0, 1.0])}, width=20, height=5)
+        grid = out.split("legend:")[0]
+        assert grid.count("o") >= 2
+
+    def test_logx(self):
+        x = np.array([1.0, 10.0, 100.0])
+        out = ascii_plot(x, {"s": x}, logx=True, xlabel="n")
+        assert "log10 n" in out
+
+    def test_logx_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            ascii_plot(np.array([0.0, 1.0]), {"s": np.array([1.0, 2.0])}, logx=True)
+
+    def test_constant_series_ok(self):
+        x = np.array([1.0, 2.0])
+        out = ascii_plot(x, {"flat": np.array([3.0, 3.0])})
+        assert "flat" in out
+
+    def test_nan_points_skipped(self):
+        x = np.array([1.0, 2.0])
+        out = ascii_plot(x, {"s": np.array([np.nan, 1.0])})
+        grid = out.split("legend:")[0]
+        assert grid.count("o") == 1
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ModelError):
+            ascii_plot(np.array([1.0]), {"s": np.array([np.nan])})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            ascii_plot(np.array([1.0, 2.0]), {"s": np.array([1.0])})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ModelError):
+            ascii_plot(np.array([1.0]), {})
+
+    def test_too_many_series(self):
+        x = np.array([1.0])
+        series = {f"s{i}": np.array([float(i)]) for i in range(11)}
+        with pytest.raises(ModelError):
+            ascii_plot(x, series)

@@ -1,0 +1,56 @@
+"""Tests for the measured NPB constants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import BASELINE_CACHE_BYTES
+from repro.workloads import NPB_DESCRIPTIONS, NPB_TABLE2, npb6_workload_data, npb_application
+
+
+class TestTable2Constants:
+    def test_six_benchmarks(self):
+        assert set(NPB_TABLE2) == {"CG", "BT", "LU", "SP", "MG", "FT"}
+        assert set(NPB_DESCRIPTIONS) == set(NPB_TABLE2)
+
+    def test_cg_values_verbatim(self):
+        w, f, m = NPB_TABLE2["CG"]
+        assert w == 5.70e10
+        assert f == 5.35e-01
+        assert m == 6.59e-04
+
+    def test_all_values_in_range(self):
+        for name, (w, f, m) in NPB_TABLE2.items():
+            assert w > 0, name
+            assert 0 < f < 1, name
+            assert 0 < m < 0.05, name  # "rarely exceeds a few percent"
+
+
+class TestNpbApplication:
+    def test_builds_from_table(self):
+        app = npb_application("CG")
+        assert app.work == 5.70e10
+        assert app.access_freq == 0.535
+        assert app.miss_rate == 6.59e-4
+        assert app.baseline_cache == BASELINE_CACHE_BYTES
+        assert math.isinf(app.footprint)
+        assert app.is_perfectly_parallel
+
+    def test_case_insensitive(self):
+        assert npb_application("cg").name == "CG"
+
+    def test_overrides(self):
+        app = npb_application("FT", seq_fraction=0.1, work=1e9, footprint=1e8)
+        assert app.seq_fraction == 0.1
+        assert app.work == 1e9
+        assert app.footprint == 1e8
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            npb_application("XX")
+
+    def test_npb6_order(self):
+        apps = npb6_workload_data()
+        assert [a.name for a in apps] == ["CG", "BT", "LU", "SP", "MG", "FT"]

@@ -1,0 +1,88 @@
+"""Tests for JSON workload/platform specs."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Application, Platform, Workload
+from repro.machine import taihulight
+from repro.types import ModelError
+from repro.workloads import (
+    application_from_dict,
+    application_to_dict,
+    load_spec,
+    npb6,
+    platform_from_dict,
+    platform_to_dict,
+    save_spec,
+)
+
+
+class TestApplicationDict:
+    def test_roundtrip(self):
+        app = Application(name="T", work=1e9, seq_fraction=0.1,
+                          access_freq=0.5, miss_rate=0.01, footprint=1e8)
+        assert application_from_dict(application_to_dict(app)) == app
+
+    def test_infinite_footprint_encodes_null(self):
+        app = Application(name="T", work=1e9)
+        d = application_to_dict(app)
+        assert d["footprint"] is None
+        back = application_from_dict(d)
+        assert math.isinf(back.footprint)
+
+    def test_missing_key(self):
+        with pytest.raises(ModelError):
+            application_from_dict({"name": "T"})
+
+    def test_defaults_applied(self):
+        app = application_from_dict({"name": "T", "work": 1e9})
+        assert app.seq_fraction == 0.0
+        assert app.baseline_cache == 40e6
+
+
+class TestPlatformDict:
+    def test_roundtrip(self):
+        pf = taihulight()
+        assert platform_from_dict(platform_to_dict(pf)) == pf
+
+    def test_missing_key(self):
+        with pytest.raises(ModelError):
+            platform_from_dict({"p": 4})
+
+
+class TestSpecFiles:
+    def test_roundtrip(self, tmp_path):
+        wl = npb6(seq_range=None)
+        pf = taihulight()
+        path = tmp_path / "spec.json"
+        save_spec(path, wl, pf)
+        wl2, pf2 = load_spec(path)
+        assert pf2 == pf
+        assert wl2.names == wl.names
+        assert np.allclose(wl2.work, wl.work)
+        assert np.allclose(wl2.miss0, wl.miss0)
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        save_spec(path, npb6(seq_range=None), taihulight())
+        doc = json.loads(path.read_text())
+        assert len(doc["applications"]) == 6
+
+    def test_rejects_non_spec(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ModelError):
+            load_spec(path)
+
+    def test_schedulable_after_roundtrip(self, tmp_path):
+        from repro.core import dominant_schedule
+
+        path = tmp_path / "spec.json"
+        save_spec(path, npb6(seq_range=None), taihulight())
+        wl, pf = load_spec(path)
+        assert dominant_schedule(wl, pf).is_feasible()

@@ -1,0 +1,99 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.types import ModelError
+from repro.workloads import (
+    NPB_TABLE2,
+    SEQ_RANGE,
+    WORK_RANGE,
+    generate,
+    npb6,
+    npb_synth,
+    random_workload,
+)
+
+
+class TestNpb6:
+    def test_perfectly_parallel_variant(self):
+        wl = npb6(seq_range=None)
+        assert wl.is_perfectly_parallel
+        assert wl.n == 6
+
+    def test_amdahl_variant(self, rng):
+        wl = npb6(rng=rng)
+        assert np.all(wl.seq >= SEQ_RANGE[0])
+        assert np.all(wl.seq <= SEQ_RANGE[1])
+
+    def test_preserves_table2(self, rng):
+        wl = npb6(rng=rng)
+        for app in wl:
+            w, f, m = NPB_TABLE2[app.name]
+            assert app.work == w
+            assert app.access_freq == f
+            assert app.miss_rate == m
+
+
+class TestNpbSynth:
+    def test_sizes(self, rng):
+        assert npb_synth(10, rng).n == 10
+
+    def test_work_in_range(self, rng):
+        wl = npb_synth(200, rng)
+        assert np.all(wl.work >= WORK_RANGE[0])
+        assert np.all(wl.work <= WORK_RANGE[1])
+
+    def test_profiles_come_from_table2(self, rng):
+        wl = npb_synth(50, rng)
+        valid_freqs = {f for (_, f, _) in NPB_TABLE2.values()}
+        assert set(np.round(wl.freq, 10)) <= {round(f, 10) for f in valid_freqs}
+
+    def test_seq_range_none_is_perfectly_parallel(self, rng):
+        assert npb_synth(8, rng, seq_range=None).is_perfectly_parallel
+
+    def test_reproducible(self):
+        a = npb_synth(8, np.random.default_rng(42))
+        b = npb_synth(8, np.random.default_rng(42))
+        assert np.allclose(a.work, b.work)
+        assert np.allclose(a.seq, b.seq)
+
+    def test_rejects_zero(self, rng):
+        with pytest.raises(ModelError):
+            npb_synth(0, rng)
+
+
+class TestRandomWorkload:
+    def test_parameter_ranges(self, rng):
+        wl = random_workload(100, rng)
+        assert np.all((wl.freq >= 0.1) & (wl.freq <= 0.9))
+        assert np.all((wl.miss0 >= 9e-4) & (wl.miss0 <= 9e-2))
+        assert np.all((wl.work >= 1e8) & (wl.work <= 1e12))
+
+    def test_custom_ranges(self, rng):
+        wl = random_workload(20, rng, freq_range=(0.5, 0.6))
+        assert np.all((wl.freq >= 0.5) & (wl.freq <= 0.6))
+
+    def test_rejects_zero(self, rng):
+        with pytest.raises(ModelError):
+            random_workload(0, rng)
+
+
+class TestGenerate:
+    def test_by_name(self, rng):
+        assert generate("npb-synth", 5, rng).n == 5
+        assert generate("random", 5, rng).n == 5
+        assert generate("npb-6", 6, rng).n == 6
+
+    def test_npb6_truncation(self, rng):
+        assert generate("npb-6", 3, rng).n == 3
+
+    def test_npb6_too_many(self, rng):
+        with pytest.raises(ModelError):
+            generate("npb-6", 7, rng)
+
+    def test_unknown_dataset(self, rng):
+        with pytest.raises(ModelError):
+            generate("mystery", 5, rng)
