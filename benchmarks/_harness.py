@@ -10,7 +10,10 @@ Each ``bench_figNN_*.py`` calls :func:`run_and_report`, which
 
 Repetitions default to 5 (the paper uses 50); set ``REPRO_BENCH_REPS``
 to change.  Set ``REPRO_BENCH_CSV_DIR`` to also dump each series as
-CSV.
+CSV.  The experiment engine's knobs apply too: ``REPRO_BACKEND=process``
+regenerates on a fork pool (bit-identical results), and with
+``REPRO_CACHE_DIR`` set, a re-run of any figure is a content-addressed
+cache hit that skips the scheduling work entirely.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ import os
 import sys
 from pathlib import Path
 
-from repro.experiments import build_figure, run_experiment
+from repro.experiments import build_figure, resolve_backend, resolve_cache_dir, run_experiment
 from repro.experiments.figures import FIGURE_NORMALIZATIONS
 from repro.experiments.tables import render_result
 from repro.viz import plot_result
@@ -28,15 +31,18 @@ BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "5"))
 CSV_DIR = os.environ.get("REPRO_BENCH_CSV_DIR")
 
 
-def run_and_report(figure_id: str, benchmark, *, reps: int | None = None, **build_kwargs):
+def run_and_report(figure_id: str, benchmark, *, reps: int | None = None,
+                   backend: str | None = None, **build_kwargs):
     """Regenerate *figure_id* under the benchmark timer and print it."""
     reps = BENCH_REPS if reps is None else reps
     exp = build_figure(figure_id, reps=reps, **build_kwargs)
+    print(f"[engine] backend={resolve_backend(backend, exp)} "
+          f"cache={resolve_cache_dir(None) or 'off'}", file=sys.stderr)
 
     result_box = {}
 
     def regenerate():
-        result_box["result"] = run_experiment(exp)
+        result_box["result"] = run_experiment(exp, backend=backend)
 
     benchmark.pedantic(regenerate, iterations=1, rounds=1)
     result = result_box["result"]

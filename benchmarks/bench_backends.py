@@ -1,0 +1,45 @@
+"""Execution-backend benchmark: full-figure regeneration, serial vs
+process pool.
+
+The grid is embarrassingly parallel (each task record carries its own
+seeds), so on an N-core machine the ``process`` backend should
+regenerate a figure near-linearly faster than ``serial`` while
+producing bit-identical arrays — run with
+``pytest benchmarks/bench_backends.py --benchmark-only`` and compare
+the two rows.  A third case times the warm-cache path, which skips the
+grid entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_figure, run_experiment
+from repro.experiments.engine import BACKENDS
+
+REPS = 4
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    exp = build_figure("fig1", reps=REPS)
+    return run_experiment(exp, backend="serial", use_cache=False)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_figure_regeneration_backend(benchmark, backend, serial_reference):
+    exp = build_figure("fig1", reps=REPS)
+    result = benchmark(
+        lambda: run_experiment(exp, backend=backend, use_cache=False))
+    for name in serial_reference.data:
+        assert np.array_equal(result.samples(name),
+                              serial_reference.samples(name)), name
+
+
+def test_figure_regeneration_warm_cache(benchmark, tmp_path, serial_reference):
+    exp = build_figure("fig1", reps=REPS)
+    run_experiment(exp, cache_dir=tmp_path)  # populate
+    result = benchmark(lambda: run_experiment(exp, cache_dir=tmp_path))
+    assert np.array_equal(result.samples("dominant-minratio"),
+                          serial_reference.samples("dominant-minratio"))

@@ -20,7 +20,8 @@ from pathlib import Path
 
 import numpy as np
 
-from .core.registry import get_scheduler, scheduler_names
+from .core.registry import entries, get_scheduler, scheduler_names
+from .experiments.engine import BACKENDS
 from .experiments.figures import FIGURE_NORMALIZATIONS, build_figure, figure_ids
 from .experiments.runner import run_experiment
 from .experiments.table2 import regenerate_table2
@@ -51,6 +52,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="normalize by this scheduler (default: the paper's choice)",
     )
+    fig.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="execution backend (default: $REPRO_BACKEND or serial); "
+             "results are bit-identical either way",
+    )
+    fig.add_argument("--workers", type=int, default=None,
+                     help="process-pool size (default: $REPRO_WORKERS or all cores)")
+    fig.add_argument("--cache-dir", type=Path, default=None,
+                     help="result-cache directory (default: $REPRO_CACHE_DIR; unset = off)")
+    fig.add_argument("--no-cache", action="store_true",
+                     help="bypass the result cache for this run")
 
     sub.add_parser("table2", help="regenerate Table 2 via the trace-driven profiler")
 
@@ -88,7 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_figure(args) -> int:
     exp = build_figure(args.figure_id, reps=args.reps, seed=args.seed)
-    result = run_experiment(exp, progress=lambda msg: print(msg, file=sys.stderr))
+    result = run_experiment(
+        exp,
+        progress=lambda msg: print(msg, file=sys.stderr),
+        backend=args.backend,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
     norms = (
         (args.normalize,)
         if args.normalize is not None
@@ -207,10 +228,17 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_list(_args) -> int:
-    print("schedulers: " + ", ".join(scheduler_names()))
+    print("schedulers:")
+    rows = [
+        [e.name, "yes" if e.randomized else "no", e.provenance, e.description]
+        for e in entries()
+    ]
+    print(format_table(["name", "randomized", "provenance", "description"], rows))
+    print()
     print("figures:    " + ", ".join(figure_ids()))
     print("datasets:   " + ", ".join(DATASETS))
     print("platforms:  " + ", ".join(PRESETS))
+    print("backends:   " + ", ".join(BACKENDS))
     return 0
 
 

@@ -53,6 +53,9 @@ from .processor_allocation import (
 from .registry import (
     PAPER_BASELINES,
     PAPER_HEURISTICS,
+    SchedulerEntry,
+    entries,
+    get_entry,
     get_scheduler,
     is_randomized,
     register,
@@ -99,6 +102,9 @@ __all__ = [
     "random_partition",
     "register",
     "get_scheduler",
+    "get_entry",
+    "entries",
+    "SchedulerEntry",
     "scheduler_names",
     "is_randomized",
     "PAPER_HEURISTICS",

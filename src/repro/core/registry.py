@@ -1,4 +1,4 @@
-"""Scheduler registry: string name -> schedule-building callable.
+"""Scheduler registry: string name -> metadata-rich scheduler entry.
 
 Experiments, benchmarks, and the CLI refer to strategies by the names
 the paper uses in its figure legends.  Every registered scheduler has
@@ -6,12 +6,21 @@ the uniform signature::
 
     scheduler(workload, platform, rng=None) -> BaseSchedule
 
+Each registry slot holds a :class:`SchedulerEntry` — the callable plus
+the metadata the orchestration layers need: whether the strategy is
+``randomized`` (its result depends on ``rng``), a one-line
+``description``, and ``provenance`` (which part of the paper — or
+which extension package — it comes from).  Entries are callable, so
+``get_scheduler(name)(workload, platform, rng)`` keeps working
+unchanged.
+
 Deterministic strategies ignore ``rng``.  Use :func:`register` to add
 custom strategies (the extensions package registers itself on import).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 import numpy as np
@@ -25,8 +34,11 @@ from .schedule import BaseSchedule
 
 __all__ = [
     "SchedulerFn",
+    "SchedulerEntry",
     "register",
     "get_scheduler",
+    "get_entry",
+    "entries",
     "scheduler_names",
     "is_randomized",
     "PAPER_HEURISTICS",
@@ -35,8 +47,44 @@ __all__ = [
 
 SchedulerFn = Callable[[Workload, Platform, Optional[np.random.Generator]], BaseSchedule]
 
-_REGISTRY: dict[str, SchedulerFn] = {}
-_RANDOMIZED: set[str] = set()
+
+@dataclass(frozen=True)
+class SchedulerEntry:
+    """One registry slot: the scheduler callable plus its metadata.
+
+    Attributes
+    ----------
+    name : str
+        Canonical (lowercase) registry key.
+    fn : SchedulerFn
+        Callable building a schedule.
+    randomized : bool
+        Whether the result depends on ``rng`` — the experiment runner
+        averages these over repetitions and must feed each invocation
+        an independent stream.
+    description : str
+        One-line human-readable summary (shown by ``repro list``).
+    provenance : str
+        Where the strategy comes from (paper section, extension
+        package, user registration).
+    """
+
+    name: str
+    fn: SchedulerFn
+    randomized: bool = False
+    description: str = ""
+    provenance: str = ""
+
+    def __call__(
+        self,
+        workload: Workload,
+        platform: Platform,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BaseSchedule:
+        return self.fn(workload, platform, rng)
+
+
+_REGISTRY: dict[str, SchedulerEntry] = {}
 
 #: The six dominant-partition heuristics of Section 5 (figure legend order).
 PAPER_HEURISTICS: tuple[str, ...] = tuple(DOMINANT_HEURISTICS)
@@ -45,8 +93,9 @@ PAPER_HEURISTICS: tuple[str, ...] = tuple(DOMINANT_HEURISTICS)
 PAPER_BASELINES: tuple[str, ...] = ("allproccache", "fair", "0cache", "randompart")
 
 
-def register(name: str, fn: SchedulerFn, *, randomized: bool = False,
-             overwrite: bool = False) -> None:
+def register(name: str, fn: SchedulerFn, *, randomized: bool | None = None,
+             description: str | None = None, provenance: str | None = None,
+             overwrite: bool = False) -> SchedulerEntry:
     """Register *fn* under *name* (lowercase canonical).
 
     Parameters
@@ -54,25 +103,52 @@ def register(name: str, fn: SchedulerFn, *, randomized: bool = False,
     name : str
         Registry key; looked up case-insensitively.
     fn : SchedulerFn
-        Callable building a schedule.
-    randomized : bool
+        Callable building a schedule.  Passing an existing
+        :class:`SchedulerEntry` re-registers it, keeping its metadata
+        unless overridden here.
+    randomized : bool, optional
         Mark strategies whose result depends on ``rng`` — the
         experiment runner averages these over repetitions.
+    description, provenance : str, optional
+        Metadata recorded on the entry.
     overwrite : bool
         Allow replacing an existing entry.
+
+    Returns
+    -------
+    SchedulerEntry
+        The entry now stored in the registry.
     """
     key = name.lower()
     if key in _REGISTRY and not overwrite:
         raise ModelError(f"scheduler {name!r} is already registered")
-    _REGISTRY[key] = fn
-    if randomized:
-        _RANDOMIZED.add(key)
+    if isinstance(fn, SchedulerEntry):
+        entry = fn
+        updates = {}
+        if entry.name != key:
+            updates["name"] = key
+        if randomized is not None and randomized != entry.randomized:
+            updates["randomized"] = randomized
+        if description is not None and description != entry.description:
+            updates["description"] = description
+        if provenance is not None and provenance != entry.provenance:
+            updates["provenance"] = provenance
+        if updates:
+            entry = replace(entry, **updates)
     else:
-        _RANDOMIZED.discard(key)
+        entry = SchedulerEntry(
+            name=key,
+            fn=fn,
+            randomized=bool(randomized),
+            description=description or "",
+            provenance=provenance or "",
+        )
+    _REGISTRY[key] = entry
+    return entry
 
 
-def get_scheduler(name: str) -> SchedulerFn:
-    """Look up a scheduler by name; raises with the known names listed."""
+def get_entry(name: str) -> SchedulerEntry:
+    """Look up a scheduler entry by name; raises with the known names listed."""
     key = name.lower()
     try:
         return _REGISTRY[key]
@@ -82,6 +158,21 @@ def get_scheduler(name: str) -> SchedulerFn:
         ) from None
 
 
+def get_scheduler(name: str) -> SchedulerEntry:
+    """Look up a scheduler by name.
+
+    Returns the (callable) :class:`SchedulerEntry`, so existing call
+    sites — ``get_scheduler(name)(workload, platform, rng)`` — keep
+    working while new code can read the metadata off the same object.
+    """
+    return get_entry(name)
+
+
+def entries() -> tuple[SchedulerEntry, ...]:
+    """All registered entries, sorted by name."""
+    return tuple(_REGISTRY[k] for k in sorted(_REGISTRY))
+
+
 def scheduler_names() -> tuple[str, ...]:
     """All registered scheduler names, sorted."""
     return tuple(sorted(_REGISTRY))
@@ -89,7 +180,7 @@ def scheduler_names() -> tuple[str, ...]:
 
 def is_randomized(name: str) -> bool:
     """Whether the strategy's output depends on the RNG."""
-    return name.lower() in _RANDOMIZED
+    return get_entry(name).randomized
 
 
 def _make_dominant(strategy: str, choice: str) -> SchedulerFn:
@@ -104,10 +195,24 @@ def _make_dominant(strategy: str, choice: str) -> SchedulerFn:
 
 
 for _name, (_strategy, _choice) in DOMINANT_HEURISTICS.items():
-    register(_name, _make_dominant(_strategy, _choice), randomized=(_choice == "random"))
+    register(
+        _name,
+        _make_dominant(_strategy, _choice),
+        randomized=(_choice == "random"),
+        description=f"dominant partition, strategy={_strategy}, choice={_choice}",
+        provenance="paper §5 (dominant heuristics)",
+    )
 
-register("allproccache", lambda wl, pf, rng=None: all_proc_cache(wl, pf))
-register("fair", lambda wl, pf, rng=None: fair(wl, pf))
-register("0cache", lambda wl, pf, rng=None: zero_cache(wl, pf))
+register("allproccache", lambda wl, pf, rng=None: all_proc_cache(wl, pf),
+         description="applications run in sequence, each owning machine + cache",
+         provenance="paper §6.3 (baseline)")
+register("fair", lambda wl, pf, rng=None: fair(wl, pf),
+         description="equal processors, access-frequency-proportional cache",
+         provenance="paper §6.3 (baseline)")
+register("0cache", lambda wl, pf, rng=None: zero_cache(wl, pf),
+         description="equal-finish processors, no cache partitioned",
+         provenance="paper §6.3 (baseline)")
 register("randompart", lambda wl, pf, rng=None: random_partition(wl, pf, rng),
-         randomized=True)
+         randomized=True,
+         description="random cache fractions, equal-finish processors",
+         provenance="paper §6.3 (baseline)")

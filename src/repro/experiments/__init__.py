@@ -1,5 +1,14 @@
-"""Experiment harness: runner, per-figure definitions, tables, CSV."""
+"""Experiment harness: engine, cache, runner, figure definitions, tables."""
 
+from .cache import ResultCache, resolve_cache_dir, spec_fingerprint
+from .engine import (
+    BACKENDS,
+    Task,
+    execute_tasks,
+    generate_tasks,
+    resolve_backend,
+    resolve_workers,
+)
 from .figures import (
     FIGURE_NORMALIZATIONS,
     FIGURES,
@@ -15,6 +24,15 @@ __all__ = [
     "Experiment",
     "run_experiment",
     "DEFAULT_METRICS",
+    "Task",
+    "BACKENDS",
+    "generate_tasks",
+    "execute_tasks",
+    "resolve_backend",
+    "resolve_workers",
+    "ResultCache",
+    "resolve_cache_dir",
+    "spec_fingerprint",
     "ExperimentResult",
     "MAKESPAN",
     "FIGURES",

@@ -1,0 +1,189 @@
+"""Content-addressed on-disk cache for experiment results (stage 3).
+
+A cache key is a SHA-256 fingerprint of the experiment *spec* — sweep
+points, reps, root seed, and the identities of the instance factory,
+the registered scheduler entries, and the metric functions (module,
+qualname, bytecode, defaults, and closure values, so
+``_synth_nprocs(16)`` and ``_synth_nprocs(64)`` hash differently and
+editing a scheduler's or metric's own code invalidates its entries).
+The hash does not chase functions reached through module globals, so
+after changing a deep callee of a scheduler, clear the cache directory
+(or run once with ``use_cache=False``).  Because every backend produces bit-identical
+arrays from the same spec (see :mod:`repro.experiments.engine`), a
+result computed once — serially, or on a process pool — satisfies
+every later run of the same figure: regenerating a figure or re-running
+a benchmark with a warm cache does no scheduling work at all.
+
+The cache directory comes from the ``cache_dir=`` argument or the
+``REPRO_CACHE_DIR`` environment variable; when neither is set, caching
+is off.  Entries are ``<experiment_id>-<digest>.npz`` files holding
+the raw sample arrays plus a JSON metadata blob; anything that fails
+to load (truncated file, stale format) is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..core.registry import SchedulerEntry, get_entry
+from .results import ExperimentResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runner import Experiment
+
+__all__ = ["ResultCache", "spec_fingerprint", "resolve_cache_dir"]
+
+#: Env var naming the cache directory (cache disabled when unset).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump when the on-disk layout changes; part of every fingerprint.
+_FORMAT_VERSION = 1
+
+
+#: Closure values hashed by content; anything else hashes by type only
+#: (a mutable object's repr is not a stable identity).
+_ATOMIC_TYPES = (str, bytes, int, float, complex, bool, type(None), tuple, frozenset)
+
+
+def _callable_fingerprint(fn: Callable, parts: list[str], *, depth: int = 0) -> None:
+    """Append a stable description of *fn* (qualname, bytecode, closure)."""
+    if isinstance(fn, SchedulerEntry):
+        parts.append(f"entry={fn.name},randomized={fn.randomized}")
+        if depth < 3:
+            _callable_fingerprint(fn.fn, parts, depth=depth + 1)
+        return
+    parts.append(f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', type(fn).__qualname__)}")
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        parts.append(hashlib.sha256(code.co_code).hexdigest())
+        parts.append(repr(code.co_consts))
+    defaults = getattr(fn, "__defaults__", None)
+    if defaults:
+        parts.append(repr(defaults))
+    closure = getattr(fn, "__closure__", None)
+    if closure and depth < 3:
+        for cell in closure:
+            try:
+                value = cell.cell_contents
+            except ValueError:  # pragma: no cover - empty cell
+                parts.append("<empty-cell>")
+                continue
+            if callable(value):
+                _callable_fingerprint(value, parts, depth=depth + 1)
+            elif isinstance(value, np.ndarray):
+                parts.append(value.tobytes().hex())
+            elif isinstance(value, _ATOMIC_TYPES):
+                parts.append(repr(value))
+            else:
+                parts.append(f"<{type(value).__module__}.{type(value).__qualname__}>")
+
+
+def spec_fingerprint(exp: "Experiment") -> str:
+    """Hex digest identifying the experiment spec (not its backend)."""
+    parts: list[str] = [
+        f"format={_FORMAT_VERSION}",
+        exp.experiment_id,
+        exp.title,
+        exp.xlabel,
+        exp.points.tobytes().hex(),
+        f"reps={exp.reps}",
+        f"seed={exp.seed}",
+    ]
+    for name in exp.schedulers:
+        parts.append(f"scheduler={name}")
+        _callable_fingerprint(get_entry(name), parts)
+    for metric in sorted(exp.metrics):
+        parts.append(f"metric={metric}")
+        _callable_fingerprint(exp.metrics[metric], parts)
+    _callable_fingerprint(exp.factory, parts)
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def resolve_cache_dir(cache_dir: str | Path | None) -> Path | None:
+    """Pick the cache directory: argument > REPRO_CACHE_DIR > disabled."""
+    if cache_dir is None:
+        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+    return Path(cache_dir) if cache_dir is not None else None
+
+
+class ResultCache:
+    """npz-file result store keyed by :func:`spec_fingerprint`."""
+
+    def __init__(self, cache_dir: str | Path):
+        self.cache_dir = Path(cache_dir)
+
+    def path_for(self, exp: "Experiment") -> Path:
+        return self.cache_dir / f"{exp.experiment_id}-{spec_fingerprint(exp)[:24]}.npz"
+
+    def load(self, exp: "Experiment") -> ExperimentResult | None:
+        """Return the cached result for *exp*'s spec, or None on a miss."""
+        path = self.path_for(exp)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                meta = json.loads(str(archive["meta_json"]))
+                data = {
+                    name: {
+                        metric: archive[f"data|{name}|{metric}"]
+                        for metric in meta["metrics"]
+                    }
+                    for name in meta["schedulers"]
+                }
+                return ExperimentResult(
+                    experiment_id=meta["experiment_id"],
+                    title=meta["title"],
+                    xlabel=meta["xlabel"],
+                    x=archive["x"],
+                    data=data,
+                    meta=meta["result_meta"],
+                )
+        except Exception:
+            # A corrupt or stale entry is just a miss; it will be rewritten.
+            return None
+
+    def store(self, exp: "Experiment", result: ExperimentResult) -> Path | None:
+        """Persist *result* under *exp*'s fingerprint (atomic rename).
+
+        Storage failures (unwritable directory, path collisions) only
+        cost the cache entry, never the computed result: they warn and
+        return None.
+        """
+        meta = {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "xlabel": result.xlabel,
+            "schedulers": list(result.data),
+            "metrics": sorted(next(iter(result.data.values()))),
+            "result_meta": result.meta,
+        }
+        arrays: dict[str, np.ndarray] = {"x": result.x}
+        for name, metrics in result.data.items():
+            for metric, samples in metrics.items():
+                arrays[f"data|{name}|{metric}"] = samples
+        buffer = io.BytesIO()
+        np.savez(buffer, meta_json=np.str_(json.dumps(meta)), **arrays)
+        path = self.path_for(exp)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(buffer.getvalue())
+            os.replace(tmp, path)
+        except OSError as exc:
+            warnings.warn(
+                f"result cache: could not store {path}: {exc}",
+                RuntimeWarning, stacklevel=2)
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        return path

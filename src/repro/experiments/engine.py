@@ -1,0 +1,281 @@
+"""Orchestration engine: task generation and pluggable execution backends.
+
+The experiment grid ``points x reps x schedulers`` is flattened into
+self-describing :class:`Task` records (stage 1), which an execution
+backend evaluates in chunked batches (stage 2); the runner assembles
+the per-task metric dicts back into :class:`ExperimentResult` arrays
+and consults the on-disk result cache (stage 3, see
+:mod:`repro.experiments.cache`).
+
+Seed discipline is the one the serial runner has always used — one
+:class:`numpy.random.SeedSequence` child per ``(rep, point)`` pair for
+the instance factory and an independent child per ``(rep, point,
+scheduler)`` for randomized schedulers — so every backend produces
+**bit-identical** results: a task carries its seeds, and evaluating it
+is a pure function of the task record.  That is what makes the grid
+embarrassingly parallel and the results cacheable.
+
+Backends
+--------
+``"serial"``
+    In-process loop over the tasks (the default; no new behavior).
+``"process"``
+    A ``multiprocessing`` pool (fork start method) over chunked task
+    batches.  Worker processes inherit the experiment object through
+    the fork, so factories and metric functions may be closures — only
+    the task records and the metric floats cross process boundaries.
+    On platforms without ``fork`` the engine falls back to ``serial``
+    with a warning.
+
+Backend selection precedence: explicit ``backend=`` argument, then the
+:attr:`Experiment.backend` field, then the ``REPRO_BACKEND``
+environment variable, then ``"serial"``.  Worker count: ``workers=``
+argument, then ``REPRO_WORKERS``, then ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.registry import get_entry
+from ..types import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from .runner import Experiment
+
+__all__ = [
+    "Task",
+    "BACKENDS",
+    "generate_tasks",
+    "execute_tasks",
+    "resolve_backend",
+    "resolve_workers",
+]
+
+#: Supported execution backends.
+BACKENDS: tuple[str, ...] = ("serial", "process")
+
+#: Env var naming the default backend (overridden by Experiment.backend
+#: and the ``backend=`` argument).
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Env var naming the process-pool size (default: ``os.cpu_count()``).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One cell of the experiment grid: ``(rep, point, scheduler)``.
+
+    A task is self-describing: evaluating it needs only the experiment
+    (for the factory and the metric functions) and the record itself —
+    the seeds pin down the workload instance and the scheduler stream,
+    so any backend, any chunking, and any execution order produce the
+    same floats.
+
+    Attributes
+    ----------
+    rep, point_index : int
+        Grid coordinates.
+    point : float
+        Sweep value (``experiment.points[point_index]``).
+    scheduler : str
+        Registry name.
+    instance_seed : numpy.random.SeedSequence
+        Child seed driving the instance factory; shared by every
+        scheduler at the same ``(rep, point)`` cell so all schedulers
+        see the same workload.
+    scheduler_seed : numpy.random.SeedSequence
+        Independent child driving this scheduler's own stream.
+    """
+
+    rep: int
+    point_index: int
+    point: float
+    scheduler: str
+    instance_seed: np.random.SeedSequence
+    scheduler_seed: np.random.SeedSequence
+
+
+def generate_tasks(exp: "Experiment") -> list[Task]:
+    """Flatten the grid into task records (stage 1).
+
+    The spawn tree is exactly the historical serial runner's: root ->
+    reps -> points -> (instance, scheduler...), so results are
+    bit-identical to every earlier version of the runner regardless of
+    the backend that later evaluates the tasks.
+    """
+    npoints = exp.points.size
+    root = np.random.SeedSequence(exp.seed)
+    rep_seeds = root.spawn(exp.reps)
+    tasks: list[Task] = []
+    for r in range(exp.reps):
+        point_seeds = rep_seeds[r].spawn(npoints)
+        for j, point in enumerate(exp.points):
+            instance_seed, *sched_seeds = point_seeds[j].spawn(1 + len(exp.schedulers))
+            for k, name in enumerate(exp.schedulers):
+                tasks.append(Task(
+                    rep=r,
+                    point_index=j,
+                    point=float(point),
+                    scheduler=name,
+                    instance_seed=instance_seed,
+                    scheduler_seed=sched_seeds[k],
+                ))
+    return tasks
+
+
+def resolve_backend(backend: str | None, exp: "Experiment" | None = None) -> str:
+    """Pick the backend: argument > Experiment field > env > serial."""
+    if backend is None and exp is not None:
+        backend = exp.backend
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or "serial"
+    backend = backend.lower()
+    if backend not in BACKENDS:
+        raise ModelError(
+            f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Pick the pool size: argument > REPRO_WORKERS > cpu_count."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ModelError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}") from None
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ModelError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _chunk(tasks: Sequence[Task], nchunks: int) -> list[list[Task]]:
+    """Split *tasks* into at most *nchunks* contiguous batches.
+
+    Contiguity matters: tasks are generated scheduler-innermost, so a
+    contiguous batch keeps the tasks sharing one ``(rep, point)``
+    workload instance together and the per-batch factory memo (see
+    :func:`_run_batch`) stays effective.
+    """
+    n = len(tasks)
+    nchunks = max(1, min(nchunks, n))
+    bounds = np.linspace(0, n, nchunks + 1).astype(int)
+    return [list(tasks[a:b]) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+def _run_batch(exp: "Experiment", batch: Iterable[Task]) -> list[dict[str, float]]:
+    """Evaluate a batch of tasks; returns one metric dict per task.
+
+    Workload instances are memoized per ``(rep, point)`` cell within
+    the batch — rebuilding from ``instance_seed`` is deterministic, so
+    the memo is a pure optimization.
+    """
+    memo: dict[tuple[int, int], tuple] = {}
+    out: list[dict[str, float]] = []
+    for task in batch:
+        cell = (task.rep, task.point_index)
+        if cell not in memo:
+            memo[cell] = exp.factory(
+                task.point, np.random.default_rng(task.instance_seed))
+        workload, platform = memo[cell]
+        entry = get_entry(task.scheduler)
+        schedule = entry(workload, platform,
+                         np.random.default_rng(task.scheduler_seed))
+        out.append({metric: fn(schedule) for metric, fn in exp.metrics.items()})
+    return out
+
+
+# The experiment travels to pool workers through fork inheritance of
+# this module global (factories and metrics are often closures, which
+# do not pickle); tasks and metric floats are what actually cross the
+# process boundary.
+_WORKER_EXPERIMENT: "Experiment | None" = None
+
+
+def _run_batch_worker(batch: list[Task]) -> list[dict[str, float]]:
+    assert _WORKER_EXPERIMENT is not None, "worker initialized without experiment"
+    return _run_batch(_WORKER_EXPERIMENT, batch)
+
+
+def _execute_serial(
+    exp: "Experiment",
+    tasks: Sequence[Task],
+    progress: Callable[[str], None] | None,
+) -> list[dict[str, float]]:
+    per_rep = exp.points.size * len(exp.schedulers)
+    results: list[dict[str, float]] = []
+    for r in range(exp.reps):
+        batch = tasks[r * per_rep:(r + 1) * per_rep]
+        results.extend(_run_batch(exp, batch))
+        if progress is not None:
+            progress(f"{exp.experiment_id}: rep {r + 1}/{exp.reps} done")
+    return results
+
+
+def _execute_process(
+    exp: "Experiment",
+    tasks: Sequence[Task],
+    workers: int,
+    progress: Callable[[str], None] | None,
+) -> list[dict[str, float]]:
+    global _WORKER_EXPERIMENT
+    workers = min(workers, len(tasks))
+    # ~4 chunks per worker balances load without drowning in IPC.
+    chunks = _chunk(tasks, workers * 4)
+    ctx = multiprocessing.get_context("fork")
+    _WORKER_EXPERIMENT = exp
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            done = 0
+            results: list[dict[str, float]] = []
+            for i, chunk_result in enumerate(pool.imap(_run_batch_worker, chunks)):
+                results.extend(chunk_result)
+                done += len(chunks[i])
+                if progress is not None:
+                    progress(
+                        f"{exp.experiment_id}: {done}/{len(tasks)} tasks done"
+                    )
+    finally:
+        _WORKER_EXPERIMENT = None
+    return results
+
+
+def execute_tasks(
+    exp: "Experiment",
+    tasks: Sequence[Task],
+    *,
+    backend: str = "serial",
+    workers: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[dict[str, float]]:
+    """Evaluate *tasks* with *backend* (stage 2); order-preserving.
+
+    The returned list is parallel to *tasks* whatever the backend or
+    chunking, so the runner can assemble result arrays positionally.
+    """
+    if backend == "process":
+        if "fork" not in multiprocessing.get_all_start_methods():
+            warnings.warn(
+                "process backend needs the fork start method; "
+                "falling back to serial", RuntimeWarning, stacklevel=2)
+            backend = "serial"
+        elif len(tasks) <= 1:
+            backend = "serial"
+    if backend == "serial":
+        return _execute_serial(exp, tasks, progress)
+    if backend == "process":
+        return _execute_process(exp, tasks, resolve_workers(workers), progress)
+    raise ModelError(f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}")

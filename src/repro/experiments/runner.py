@@ -6,6 +6,16 @@ schedulers to compare, and the per-schedule metrics to record.
 :func:`run_experiment` executes the full ``points x reps x schedulers``
 grid with independent but reproducible RNG streams (spawned from one
 seed, so adding a scheduler does not perturb the workloads).
+
+Execution is delegated to the orchestration engine
+(:mod:`repro.experiments.engine`): the grid is flattened into
+self-describing task records and evaluated by a pluggable backend —
+``"serial"`` (default) or ``"process"`` (a fork-based pool) — with
+bit-identical results either way.  When a cache directory is
+configured (``cache_dir=`` or ``REPRO_CACHE_DIR``), results are
+content-addressed by the experiment spec
+(:mod:`repro.experiments.cache`) and a re-run is a cache hit that does
+no scheduling work.
 """
 
 from __future__ import annotations
@@ -17,9 +27,10 @@ import numpy as np
 
 from ..core.application import Workload
 from ..core.platform import Platform
-from ..core.registry import get_scheduler
 from ..core.schedule import BaseSchedule
 from ..types import ModelError
+from .cache import ResultCache, resolve_cache_dir
+from .engine import execute_tasks, generate_tasks, resolve_backend
 from .results import MAKESPAN, ExperimentResult
 
 __all__ = ["Experiment", "run_experiment", "DEFAULT_METRICS"]
@@ -53,6 +64,11 @@ class Experiment:
         Repetitions (the paper uses 50).
     seed : int
         Root seed for the reproducible RNG tree.
+    backend : str | None
+        Preferred execution backend (``"serial"`` or ``"process"``);
+        None defers to the ``REPRO_BACKEND`` environment variable and
+        ultimately to ``"serial"``.  The backend never changes the
+        result, only how fast it arrives.
     """
 
     experiment_id: str
@@ -64,6 +80,7 @@ class Experiment:
     metrics: dict[str, MetricFn] = field(default_factory=lambda: dict(DEFAULT_METRICS))
     reps: int = 10
     seed: int = 2017
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         self.points = np.asarray(self.points, dtype=np.float64)
@@ -75,7 +92,15 @@ class Experiment:
             raise ModelError("need at least one scheduler")
 
 
-def run_experiment(exp: Experiment, *, progress: Callable[[str], None] | None = None) -> ExperimentResult:
+def run_experiment(
+    exp: Experiment,
+    *,
+    progress: Callable[[str], None] | None = None,
+    backend: str | None = None,
+    workers: int | None = None,
+    cache_dir=None,
+    use_cache: bool = True,
+) -> ExperimentResult:
     """Execute the grid and collect an :class:`ExperimentResult`.
 
     RNG discipline: one child seed per (rep, point) pair drives the
@@ -83,31 +108,58 @@ def run_experiment(exp: Experiment, *, progress: Callable[[str], None] | None = 
     scheduler) drives randomized schedulers — so every scheduler sees
     the *same* workload instance, and randomized heuristics do not
     share streams.
+
+    Parameters
+    ----------
+    progress : callable, optional
+        Called with short status strings as work completes.
+    backend : str, optional
+        ``"serial"`` or ``"process"``; defaults to
+        ``exp.backend``/``REPRO_BACKEND``/``"serial"``.  Results are
+        bit-identical across backends.
+    workers : int, optional
+        Process-pool size (``REPRO_WORKERS``/cpu count by default).
+    cache_dir : str | Path, optional
+        Result-cache directory; defaults to ``REPRO_CACHE_DIR``;
+        caching is disabled when neither is set.
+    use_cache : bool
+        Set False to bypass the cache entirely (no read, no write).
     """
-    npoints = self_points = exp.points.size
+    cache = None
+    if use_cache:
+        resolved_dir = resolve_cache_dir(cache_dir)
+        if resolved_dir is not None:
+            cache = ResultCache(resolved_dir)
+    if cache is not None:
+        cached = cache.load(exp)
+        if cached is not None:
+            if progress is not None:
+                progress(f"{exp.experiment_id}: cache hit ({cache.path_for(exp).name})")
+            return cached
+
+    backend = resolve_backend(backend, exp)
+    tasks = generate_tasks(exp)
+    samples = execute_tasks(exp, tasks, backend=backend, workers=workers,
+                            progress=progress)
+
+    npoints = exp.points.size
     data = {
-        name: {metric: np.empty((exp.reps, self_points)) for metric in exp.metrics}
+        name: {metric: np.empty((exp.reps, npoints)) for metric in exp.metrics}
         for name in exp.schedulers
     }
-    root = np.random.SeedSequence(exp.seed)
-    rep_seeds = root.spawn(exp.reps)
-    for r in range(exp.reps):
-        point_seeds = rep_seeds[r].spawn(npoints)
-        for j, point in enumerate(exp.points):
-            instance_seed, *sched_seeds = point_seeds[j].spawn(1 + len(exp.schedulers))
-            workload, platform = exp.factory(float(point), np.random.default_rng(instance_seed))
-            for k, name in enumerate(exp.schedulers):
-                scheduler = get_scheduler(name)
-                schedule = scheduler(workload, platform, np.random.default_rng(sched_seeds[k]))
-                for metric, fn in exp.metrics.items():
-                    data[name][metric][r, j] = fn(schedule)
-        if progress is not None:
-            progress(f"{exp.experiment_id}: rep {r + 1}/{exp.reps} done")
-    return ExperimentResult(
+    for task, metrics in zip(tasks, samples):
+        for metric, value in metrics.items():
+            data[task.scheduler][metric][task.rep, task.point_index] = value
+
+    result = ExperimentResult(
         experiment_id=exp.experiment_id,
         title=exp.title,
         xlabel=exp.xlabel,
         x=exp.points.copy(),
         data=data,
-        meta={"reps": exp.reps, "seed": exp.seed, "schedulers": list(exp.schedulers)},
+        meta={"reps": exp.reps, "seed": exp.seed,
+              "schedulers": list(exp.schedulers), "backend": backend},
     )
+    if cache is not None:
+        cache.store(exp, result)
+    return result

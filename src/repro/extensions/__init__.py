@@ -20,11 +20,20 @@ def _register_extensions() -> None:
 
     existing = set(scheduler_names())
     if "speedup-aware" not in existing:
-        register("speedup-aware", lambda wl, pf, rng=None: speedup_aware_schedule(wl, pf, rng))
+        register("speedup-aware",
+                 lambda wl, pf, rng=None: speedup_aware_schedule(wl, pf, rng),
+                 description="dominant subset + Amdahl-aware KKT cache fractions",
+                 provenance="extensions (paper §7 future work)")
     if "localsearch" not in existing:
-        register("localsearch", lambda wl, pf, rng=None: local_search_schedule(wl, pf, rng))
+        register("localsearch",
+                 lambda wl, pf, rng=None: local_search_schedule(wl, pf, rng),
+                 description="dominant subset refined by add/drop/swap search",
+                 provenance="extensions (paper §7 future work)")
     if "continuous-opt" not in existing:
-        register("continuous-opt", lambda wl, pf, rng=None: continuous_schedule(wl, pf, rng))
+        register("continuous-opt",
+                 lambda wl, pf, rng=None: continuous_schedule(wl, pf, rng),
+                 description="SLSQP over cache fractions (reference upper bound)",
+                 provenance="extensions (paper §7 future work)")
 
 
 _register_extensions()

@@ -17,6 +17,8 @@ def _register() -> None:
         register(
             "pairwise-matching",
             lambda wl, pf, rng=None: pairwise_matching_schedule(wl, pf, rng),
+            description="min-weight matching on the pairwise interference graph",
+            provenance="interference (related-work alternative)",
         )
 
 

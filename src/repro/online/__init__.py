@@ -1,6 +1,7 @@
 """Online co-scheduling: dynamic arrivals with cache repartitioning."""
 
 from .allocation import remaining_equal_finish
-from .engine import OnlineResult, simulate_online
+from .engine import BUILTIN_POLICIES, OnlineResult, simulate_online
 
-__all__ = ["remaining_equal_finish", "OnlineResult", "simulate_online"]
+__all__ = ["remaining_equal_finish", "BUILTIN_POLICIES", "OnlineResult",
+           "simulate_online"]

@@ -20,6 +20,14 @@ Policies
 ``"fcfs"``
     One application at a time (arrival order), whole machine + whole
     cache — the no-co-scheduling baseline.
+any registered scheduler name
+    Every concurrent strategy in the scheduler registry (e.g.
+    ``"dominant-maxratio"``, ``"fair"``'s registered cousin,
+    ``"speedup-aware"``) can drive the online loop: at each event the
+    entry is invoked on the *active* applications with their remaining
+    work, and the resulting ``(procs, cache)`` allocation is applied
+    until the next event.  Sequential strategies (``"allproccache"``)
+    are rejected — use ``"fcfs"`` for that behavior.
 
 Cache repartitioning takes effect instantaneously (the model carries
 no warm-up; Section 3's miss rates are steady-state).  Metrics:
@@ -29,7 +37,6 @@ completion and flow times per application, makespan, mean/max flow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
 
 import numpy as np
 
@@ -37,12 +44,18 @@ from ..core.application import Workload
 from ..core.dominance import cache_weights, dominance_ratios
 from ..core.execution import access_cost_factor
 from ..core.platform import Platform
+from ..core.registry import get_entry, scheduler_names
 from ..types import ModelError
 from .allocation import remaining_equal_finish
 
-__all__ = ["OnlineResult", "simulate_online"]
+__all__ = ["OnlineResult", "simulate_online", "BUILTIN_POLICIES"]
 
-Policy = Literal["dominant", "fair", "fcfs"]
+#: The hand-rolled event-loop policies; any other name is resolved
+#: through the scheduler registry.
+BUILTIN_POLICIES: tuple[str, ...] = ("dominant", "fair", "fcfs")
+
+#: A policy is a builtin name or any registered concurrent scheduler.
+Policy = str
 
 _REL_EPS = 1e-12
 
@@ -119,6 +132,50 @@ def _dominant_fractions_remaining(
     return x
 
 
+def _registry_allocation(
+    workload: Workload,
+    platform: Platform,
+    idx: np.ndarray,
+    seq_left: np.ndarray,
+    par_left: np.ndarray,
+    policy: str,
+    rng: np.random.Generator | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(procs, cache) from a registered scheduler over the active apps.
+
+    The entry sees a snapshot workload whose applications carry their
+    *remaining* work and the sequential fraction of that remainder, so
+    an offline strategy re-solves the shrinking instance at each event.
+    """
+    try:
+        entry = get_entry(policy)
+    except ModelError:
+        raise ModelError(
+            f"unknown policy {policy!r}; builtin policies: "
+            f"{', '.join(BUILTIN_POLICIES)}, plus any registered "
+            f"concurrent scheduler ({', '.join(scheduler_names())})"
+        ) from None
+    snapshot = Workload(
+        workload[int(i)].scaled(
+            work=float(seq_left[i] + par_left[i]),
+            seq_fraction=float(seq_left[i] / (seq_left[i] + par_left[i])),
+        )
+        for i in idx
+    )
+    schedule = entry(snapshot, platform, rng)
+    if not schedule.concurrent:
+        raise ModelError(
+            f"policy {policy!r} builds a sequential schedule; the online "
+            "engine needs a concurrent strategy (use 'fcfs' instead)"
+        )
+    n = workload.n
+    procs = np.zeros(n)
+    cache = np.zeros(n)
+    procs[idx] = schedule.procs
+    cache[idx] = schedule.cache
+    return procs, cache
+
+
 def _allocate(
     workload: Workload,
     platform: Platform,
@@ -127,6 +184,7 @@ def _allocate(
     par_left: np.ndarray,
     policy: str,
     fcfs_order: np.ndarray,
+    rng: np.random.Generator | None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """(procs, cache) for the active set under *policy*."""
     n = workload.n
@@ -161,7 +219,11 @@ def _allocate(
         procs[idx] = alloc
         return procs, cache
 
-    raise ModelError(f"unknown policy {policy!r}")
+    # Fall through to the scheduler registry; get_entry raises a
+    # ModelError naming the known strategies for unknown policies.
+    return _registry_allocation(
+        workload, platform, idx, seq_left, par_left, policy, rng
+    )
 
 
 def simulate_online(
@@ -171,8 +233,14 @@ def simulate_online(
     *,
     policy: Policy = "dominant",
     max_events: int | None = None,
+    rng: np.random.Generator | None = None,
 ) -> OnlineResult:
-    """Simulate dynamic arrivals under a reallocation policy."""
+    """Simulate dynamic arrivals under a reallocation policy.
+
+    *policy* is a builtin (``"dominant"``, ``"fair"``, ``"fcfs"``) or
+    any registered concurrent scheduler name; *rng* feeds randomized
+    registry policies (builtins ignore it).
+    """
     arrivals = np.asarray(arrival_times, dtype=np.float64)
     if arrivals.shape != (workload.n,):
         raise ModelError(f"arrival_times must have shape ({workload.n},)")
@@ -207,7 +275,8 @@ def simulate_online(
             continue
 
         procs, cache = _allocate(
-            workload, platform, active, seq_left, par_left, policy, fcfs_order
+            workload, platform, active, seq_left, par_left, policy, fcfs_order,
+            rng,
         )
         factors = access_cost_factor(workload, platform, cache)
 

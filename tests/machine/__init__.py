@@ -1,0 +1,1 @@
+"""Test subpackage (keeps module basenames unique for pytest collection)."""

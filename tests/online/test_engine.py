@@ -88,3 +88,32 @@ class TestStaggeredArrivals:
             simulate_online(wl, pf, np.zeros(3))
         with pytest.raises(ModelError):
             simulate_online(wl, pf, -np.ones(10))
+
+
+class TestRegistryPolicies:
+    """Any registered concurrent scheduler can drive the online loop."""
+
+    def test_registry_dominant_close_to_builtin(self, wl, pf):
+        reg = simulate_online(wl, pf, np.zeros(10), policy="dominant-minratio")
+        builtin = simulate_online(wl, pf, np.zeros(10), policy="dominant")
+        assert reg.makespan == pytest.approx(builtin.makespan, rel=1e-3)
+
+    def test_randomized_policy_uses_rng(self, wl, pf):
+        a = simulate_online(wl, pf, np.zeros(10), policy="randompart",
+                            rng=np.random.default_rng(1))
+        b = simulate_online(wl, pf, np.zeros(10), policy="randompart",
+                            rng=np.random.default_rng(2))
+        assert a.makespan != b.makespan
+
+    def test_staggered_arrivals_complete(self, wl, pf):
+        arrivals = np.linspace(0.0, 1e10, 10)
+        res = simulate_online(wl, pf, arrivals, policy="dominant-maxratio")
+        assert np.all(res.finish_times > res.arrival_times)
+
+    def test_sequential_policy_rejected(self, wl, pf):
+        with pytest.raises(ModelError):
+            simulate_online(wl, pf, np.zeros(10), policy="allproccache")
+
+    def test_unknown_policy_error_names_builtins(self, wl, pf):
+        with pytest.raises(ModelError, match="dominant, fair, fcfs"):
+            simulate_online(wl, pf, np.zeros(10), policy="dominannt")
