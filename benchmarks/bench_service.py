@@ -1,0 +1,173 @@
+"""Decision-service throughput: cold vs warm vs batched.
+
+Three serving regimes over the same repeated-request workload
+(``N_REQUESTS`` distinct allocation questions, ``NAPPS`` applications
+each):
+
+* **cold** — sequential requests against an empty decision cache:
+  every request pays the scheduler compute (plus the batcher linger).
+* **warm** — the identical request stream again: every request is a
+  decision-cache hit; no scheduler runs at all.  The acceptance bar
+  for the subsystem is warm >= 10x cold throughput, asserted here.
+* **batched** — the same *cold* workload, but issued concurrently:
+  requests coalesce into batches dispatched across the worker pool,
+  which is how the service actually meets traffic.
+
+Run under pytest (``pytest benchmarks/bench_service.py``) for
+pytest-benchmark timing rows, or standalone
+(``PYTHONPATH=src python benchmarks/bench_service.py``) for the plain
+table.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from time import perf_counter
+
+import numpy as np
+
+from repro.machine import taihulight
+from repro.service import AllocationRequest, DecisionService
+from repro.workloads import npb_synth
+
+#: Distinct questions in the workload; the warm phase repeats them all.
+N_REQUESTS = 32
+NAPPS = 8
+
+#: Throughputs (requests/second) by regime, filled as the tests run.
+RESULTS: dict[str, float] = {}
+
+#: The ISSUE-4 acceptance bar: warm must beat cold by at least this.
+WARM_OVER_COLD = 10.0
+
+
+def build_requests() -> list[AllocationRequest]:
+    rng = np.random.default_rng(2017)
+    return [
+        AllocationRequest(
+            applications=tuple(npb_synth(NAPPS, rng)),
+            platform=taihulight(),
+            scheduler="dominant-minratio",
+        )
+        for _ in range(N_REQUESTS)
+    ]
+
+
+def run_sequential(service: DecisionService,
+                   requests: list[AllocationRequest]) -> tuple[float, list]:
+    """Issue the stream one request at a time; returns (seconds, responses)."""
+    start = perf_counter()
+    responses = [service.allocate(r) for r in requests]
+    return perf_counter() - start, responses
+
+
+def run_concurrent(service: DecisionService,
+                   requests: list[AllocationRequest]) -> tuple[float, list]:
+    """Issue the whole stream at once from one thread per request."""
+    responses: list = [None] * len(requests)
+    barrier = threading.Barrier(len(requests) + 1)
+
+    def caller(i: int) -> None:
+        barrier.wait()
+        responses[i] = service.allocate(requests[i])
+
+    threads = [threading.Thread(target=caller, args=(i,))
+               for i in range(len(requests))]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = perf_counter()
+    for t in threads:
+        t.join()
+    return perf_counter() - start, responses
+
+
+def report() -> None:
+    print()
+    print(f"decision-service throughput ({N_REQUESTS} requests, "
+          f"{NAPPS} apps each):")
+    for mode in ("cold", "warm", "batched"):
+        if mode in RESULTS:
+            print(f"  {mode:<8}{RESULTS[mode]:>12.0f} req/s")
+    if "cold" in RESULTS and "warm" in RESULTS:
+        print(f"  warm/cold ratio: {RESULTS['warm'] / RESULTS['cold']:.1f}x "
+              f"(bar: {WARM_OVER_COLD:.0f}x)")
+
+
+# -- pytest entry points ---------------------------------------------------
+
+# The standalone path (CI's service-smoke job) runs without pytest
+# installed; only define the pytest surface when it is importable.
+try:
+    import pytest  # noqa: E402
+except ImportError:  # pragma: no cover - standalone run
+    pytest = None
+
+if pytest is not None:
+    @pytest.fixture(scope="module")
+    def requests_():
+        return build_requests()
+
+    @pytest.fixture(scope="module")
+    def service():
+        with DecisionService(max_batch_size=16, max_wait_ms=1.0) as svc:
+            yield svc
+
+    def test_cold_sequential(benchmark, service, requests_):
+        def run():
+            elapsed, responses = run_sequential(service, requests_)
+            assert not any(r.cache_hit for r in responses)
+            RESULTS["cold"] = len(requests_) / elapsed
+
+        benchmark.pedantic(run, iterations=1, rounds=1)
+
+    def test_warm_sequential(benchmark, service, requests_):
+        def run():
+            elapsed, responses = run_sequential(service, requests_)
+            # every repeat answered from the decision cache
+            assert all(r.cache_hit for r in responses)
+            RESULTS["warm"] = len(requests_) / elapsed
+
+        benchmark.pedantic(run, iterations=1, rounds=1)
+        assert RESULTS["warm"] >= WARM_OVER_COLD * RESULTS["cold"], (
+            f"warm {RESULTS['warm']:.0f} req/s vs cold {RESULTS['cold']:.0f} "
+            f"req/s: below the {WARM_OVER_COLD:.0f}x bar")
+
+    def test_batched_concurrent(benchmark, requests_):
+        with DecisionService(max_batch_size=16, max_wait_ms=5.0) as fresh:
+            def run():
+                elapsed, responses = run_concurrent(fresh, requests_)
+                assert all(r is not None for r in responses)
+                # concurrency actually produced multi-request batches
+                assert fresh.metrics()["batcher.max_batch_seen"] > 1
+                RESULTS["batched"] = len(requests_) / elapsed
+
+            benchmark.pedantic(run, iterations=1, rounds=1)
+        report()
+
+
+# -- standalone entry point ------------------------------------------------
+
+def main() -> int:
+    requests = build_requests()
+    with DecisionService(max_batch_size=16, max_wait_ms=1.0) as svc:
+        elapsed, responses = run_sequential(svc, requests)
+        assert not any(r.cache_hit for r in responses)
+        RESULTS["cold"] = len(requests) / elapsed
+        elapsed, responses = run_sequential(svc, requests)
+        assert all(r.cache_hit for r in responses)
+        RESULTS["warm"] = len(requests) / elapsed
+    with DecisionService(max_batch_size=16, max_wait_ms=5.0) as svc:
+        elapsed, _ = run_concurrent(svc, requests)
+        RESULTS["batched"] = len(requests) / elapsed
+    report()
+    if RESULTS["warm"] < WARM_OVER_COLD * RESULTS["cold"]:
+        print(f"FAIL: warm throughput below {WARM_OVER_COLD:.0f}x cold",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

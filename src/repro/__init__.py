@@ -5,8 +5,10 @@ cache-partitioned systems"* (Aupy, Benoit, Pottier, Raghavan, Robert,
 Shantharam; INRIA RR-8965 / IPDPS 2017): the analytical model (power
 law of cache misses + Amdahl cost model), the dominant-partition theory
 and heuristics, the NP-completeness reduction, the evaluation baselines,
-a way-partitioned LRU cache simulator substrate, and an experiment
-harness regenerating every figure of the paper.
+a way-partitioned LRU cache simulator substrate, an experiment
+harness regenerating every figure of the paper, and an online decision
+service (:mod:`repro.service`) serving the schedulers over HTTP with
+request batching and an LRU decision cache.
 
 Quickstart::
 
@@ -47,7 +49,7 @@ from .types import (
 from . import extensions as _extensions  # noqa: E402,F401
 from . import interference as _interference  # noqa: E402,F401
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Application",

@@ -10,16 +10,22 @@ Examples::
     python -m repro pipeline --napps 16
     python -m repro validate --napps 32
     python -m repro list
+    python -m repro serve --port 8765
+    python -m repro request --url http://127.0.0.1:8765 --napps 8
+    python -m repro cache info
+    python -m repro cache prune --max-bytes 500M
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from pathlib import Path
 
 import numpy as np
 
+from . import __version__
 from .core.registry import entries, get_scheduler, scheduler_names
 from .experiments.engine import BACKENDS
 from .experiments.figures import FIGURE_NORMALIZATIONS, build_figure, figure_ids
@@ -39,6 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-cosched",
         description="Reproduce 'Co-scheduling algorithms for cache-partitioned systems'",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -97,7 +105,69 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--seed", type=int, default=2017)
 
     sub.add_parser("list", help="list schedulers, figures, datasets, platforms")
+
+    srv = sub.add_parser("serve", help="run the co-scheduling decision service")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8765)
+    srv.add_argument("--cache-capacity", type=int, default=1024,
+                     help="decision-cache entries (LRU beyond this)")
+    srv.add_argument("--max-batch", type=int, default=16,
+                     help="largest request batch dispatched at once")
+    srv.add_argument("--max-wait-ms", type=float, default=2.0,
+                     help="linger time filling a batch before dispatch")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="dispatch pool size (default: $REPRO_WORKERS, capped)")
+
+    req = sub.add_parser("request",
+                         help="send one allocation request to a running service")
+    req.add_argument("--url", default="http://127.0.0.1:8765",
+                     help="service base URL")
+    req.add_argument("--dataset", choices=list(DATASETS), default="npb-synth")
+    req.add_argument("--napps", type=int, default=8)
+    req.add_argument("--scheduler", choices=list(scheduler_names()),
+                     default="dominant-minratio")
+    req.add_argument("--platform", choices=list(PRESETS), default="taihulight")
+    req.add_argument("--seed", type=int, default=2017)
+    req.add_argument("--repeat", type=int, default=1,
+                     help="send the identical request N times (shows cache hits)")
+    req.add_argument("--json", action="store_true",
+                     help="print the raw JSON response instead of a table")
+
+    cache = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    info = cache_sub.add_parser("info", help="show entry count and total bytes")
+    info.add_argument("--cache-dir", type=Path, default=None,
+                      help="cache directory (default: $REPRO_CACHE_DIR)")
+    prune = cache_sub.add_parser(
+        "prune", help="delete least-recently-used entries over a byte budget")
+    prune.add_argument("--max-bytes", type=parse_bytes, required=True,
+                       help="byte budget to prune down to (suffixes K/M/G ok)")
+    prune.add_argument("--cache-dir", type=Path, default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR)")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="report what would be deleted without deleting")
     return parser
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a byte size: plain int or K/M/G-suffixed (decimal, e.g. 500M)."""
+    raw = text.strip().upper().removesuffix("B")
+    factor = 1
+    for suffix, mult in (("K", 10**3), ("M", 10**6), ("G", 10**9)):
+        if raw.endswith(suffix):
+            raw = raw[:-1]
+            factor = mult
+            break
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse byte size {text!r} (use e.g. 1048576, 500M, 2G)"
+        ) from None
+    if value < 0 or not math.isfinite(value):
+        raise argparse.ArgumentTypeError(
+            f"byte size must be finite and >= 0, got {text!r}")
+    return int(value * factor)
 
 
 def _cmd_figure(args) -> int:
@@ -229,16 +299,100 @@ def _cmd_validate(args) -> int:
 
 def _cmd_list(_args) -> int:
     print("schedulers:")
+    # entries() is name-sorted already; sort again so the output stays
+    # deterministic even if the registry's iteration contract changes.
     rows = [
         [e.name, "yes" if e.randomized else "no", e.provenance, e.description]
-        for e in entries()
+        for e in sorted(entries(), key=lambda e: e.name)
     ]
     print(format_table(["name", "randomized", "provenance", "description"], rows))
     print()
     print("figures:    " + ", ".join(figure_ids()))
     print("datasets:   " + ", ".join(DATASETS))
-    print("platforms:  " + ", ".join(PRESETS))
+    print("platforms:  " + ", ".join(sorted(PRESETS)))
     print("backends:   " + ", ".join(BACKENDS))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import DecisionService
+    from .service.server import serve
+
+    service = DecisionService(
+        cache_capacity=args.cache_capacity,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+    )
+    serve(args.host, args.port, service,
+          announce=lambda msg: print(msg, file=sys.stderr, flush=True))
+    return 0
+
+
+def _cmd_request(args) -> int:
+    import json as _json
+
+    from .service.client import ServiceClient
+
+    rng = np.random.default_rng(args.seed)
+    workload = generate(args.dataset, args.napps, rng)
+    client = ServiceClient(args.url)
+    replies = [
+        client.allocate(workload, args.platform,
+                        scheduler=args.scheduler, seed=args.seed)
+        for _ in range(max(1, args.repeat))
+    ]
+    reply = replies[0]
+    if args.json:
+        print(_json.dumps(reply, indent=2))
+        return 0
+    decision = reply["decision"]
+    rows = [
+        [name, p, x, t]
+        for name, p, x, t in zip(decision["names"], decision["procs"],
+                                 decision["cache"], decision["times"])
+    ]
+    print(f"{decision['scheduler']} on {args.platform}: "
+          f"makespan={decision['makespan']:.6g}")
+    print(format_table(["app", "procs", "cache x", "time"], rows))
+    for i, r in enumerate(replies):
+        source = "decision-cache hit" if r["cache_hit"] else (
+            f"computed (batch of {r['batch_size']}"
+            + (", coalesced)" if r["coalesced"] else ")"))
+        print(f"request {i + 1}: {source}, {r['latency_ms']:.3f} ms "
+              f"[{r['request_id'][:16]}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .experiments.cache import ResultCache, resolve_cache_dir
+
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    if cache_dir is None:
+        print("no cache directory: pass --cache-dir or set REPRO_CACHE_DIR",
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(cache_dir)
+    if args.cache_command == "info":
+        entries_lru = cache.entries()
+        print(f"{cache_dir}: {len(entries_lru)} entries, "
+              f"{cache.size_bytes()} bytes")
+        for path in entries_lru:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # vanished under a concurrent prune
+            print(f"  {path.name}  {size} bytes")
+        return 0
+    report = cache.prune(args.max_bytes, dry_run=args.dry_run)
+    if args.dry_run:
+        print(f"would delete {len(report.deleted)} entries "
+              f"(keeping {report.kept_bytes} bytes <= {args.max_bytes})")
+        for path in report.deleted:
+            print(f"  {path.name}")
+        return 0
+    print(f"deleted {len(report.deleted)} entries, freed {report.freed_bytes} "
+          f"bytes; {report.kept_bytes} bytes kept (budget {args.max_bytes})")
     return 0
 
 
@@ -253,6 +407,9 @@ def main(argv: list[str] | None = None) -> int:
         "pipeline": _cmd_pipeline,
         "validate": _cmd_validate,
         "list": _cmd_list,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args)
 

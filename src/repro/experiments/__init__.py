@@ -1,6 +1,6 @@
 """Experiment harness: engine, cache, runner, figure definitions, tables."""
 
-from .cache import ResultCache, resolve_cache_dir, spec_fingerprint
+from .cache import PruneReport, ResultCache, resolve_cache_dir, spec_fingerprint
 from .engine import (
     BACKENDS,
     Task,
@@ -31,6 +31,7 @@ __all__ = [
     "resolve_backend",
     "resolve_workers",
     "ResultCache",
+    "PruneReport",
     "resolve_cache_dir",
     "spec_fingerprint",
     "ExperimentResult",

@@ -19,6 +19,11 @@ The cache directory comes from the ``cache_dir=`` argument or the
 is off.  Entries are ``<experiment_id>-<digest>.npz`` files holding
 the raw sample arrays plus a JSON metadata blob; anything that fails
 to load (truncated file, stale format) is treated as a miss.
+
+The directory grows without bound by default; :meth:`ResultCache.prune`
+applies a byte budget, deleting least-recently-used entries first
+(loads touch the file mtime, so mtime order *is* recency order) —
+``repro cache prune --max-bytes 500M`` from the CLI.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import io
 import json
 import os
 import warnings
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
@@ -39,7 +45,7 @@ from .results import ExperimentResult
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .runner import Experiment
 
-__all__ = ["ResultCache", "spec_fingerprint", "resolve_cache_dir"]
+__all__ = ["ResultCache", "PruneReport", "spec_fingerprint", "resolve_cache_dir"]
 
 #: Env var naming the cache directory (cache disabled when unset).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -114,11 +120,89 @@ def resolve_cache_dir(cache_dir: str | Path | None) -> Path | None:
     return Path(cache_dir) if cache_dir is not None else None
 
 
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of a :meth:`ResultCache.prune` pass.
+
+    Attributes
+    ----------
+    deleted : tuple[Path, ...]
+        Entries removed, oldest first.
+    freed_bytes, kept_bytes : int
+        Bytes reclaimed / still on disk after the pass.
+    """
+
+    deleted: tuple[Path, ...]
+    freed_bytes: int
+    kept_bytes: int
+
+
 class ResultCache:
     """npz-file result store keyed by :func:`spec_fingerprint`."""
 
     def __init__(self, cache_dir: str | Path):
         self.cache_dir = Path(cache_dir)
+
+    @staticmethod
+    def _stat_or_none(path: Path):
+        """stat() tolerating a concurrently-deleted entry."""
+        try:
+            return path.stat()
+        except OSError:
+            return None
+
+    def entries(self) -> list[Path]:
+        """All cache entry files, least recently used first (by mtime)."""
+        if not self.cache_dir.is_dir():
+            return []
+        stamped = []
+        for path in self.cache_dir.glob("*.npz"):
+            st = self._stat_or_none(path)
+            if st is not None:
+                stamped.append((st.st_mtime, path.name, path))
+        return [path for _, _, path in sorted(stamped)]
+
+    def size_bytes(self) -> int:
+        """Total bytes currently held by cache entries."""
+        return sum(
+            st.st_size
+            for st in map(self._stat_or_none, self.entries())
+            if st is not None
+        )
+
+    def prune(self, max_bytes: int, *, dry_run: bool = False) -> PruneReport:
+        """Delete least-recently-used entries until under *max_bytes*.
+
+        Recency is file mtime: :meth:`load` touches an entry on every
+        hit, so a figure regenerated yesterday outlives one last read
+        months ago regardless of creation order.  Concurrently-vanished
+        files are skipped, not errors.  ``max_bytes=0`` empties the
+        cache.  With ``dry_run=True`` nothing is unlinked; the report
+        lists what a real pass would delete.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = self.entries()
+        sizes = {}
+        for path in entries:
+            st = self._stat_or_none(path)
+            sizes[path] = st.st_size if st is not None else 0
+        total = sum(sizes.values())
+        deleted: list[Path] = []
+        freed = 0
+        for path in entries:  # oldest first
+            if total <= max_bytes:
+                break
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+            total -= sizes[path]
+            freed += sizes[path]
+            deleted.append(path)
+        return PruneReport(deleted=tuple(deleted), freed_bytes=freed,
+                           kept_bytes=total)
 
     def path_for(self, exp: "Experiment") -> Path:
         return self.cache_dir / f"{exp.experiment_id}-{spec_fingerprint(exp)[:24]}.npz"
@@ -138,7 +222,7 @@ class ResultCache:
                     }
                     for name in meta["schedulers"]
                 }
-                return ExperimentResult(
+                result = ExperimentResult(
                     experiment_id=meta["experiment_id"],
                     title=meta["title"],
                     xlabel=meta["xlabel"],
@@ -149,6 +233,13 @@ class ResultCache:
         except Exception:
             # A corrupt or stale entry is just a miss; it will be rewritten.
             return None
+        try:
+            # A hit refreshes the entry's mtime so prune() evicts in
+            # true least-recently-used order, not creation order.
+            os.utime(path)
+        except OSError:
+            pass
+        return result
 
     def store(self, exp: "Experiment", result: ExperimentResult) -> Path | None:
         """Persist *result* under *exp*'s fingerprint (atomic rename).

@@ -1,0 +1,64 @@
+"""repro.service — batched, cache-backed co-scheduling decision service.
+
+The serving subsystem: the paper's schedulers, wrapped as an online
+decision API.  A request — application set, platform, scheduler name —
+is canonicalized and fingerprinted (:mod:`.protocol`); repeats are
+answered from an in-memory LRU decision cache (:mod:`.cache`);
+concurrent distinct requests coalesce into batches (:mod:`.batcher`)
+dispatched on a worker pool over the scheduler registry
+(:mod:`.dispatcher`).  The transport-agnostic core
+(:class:`DecisionService`) is fronted by a stdlib HTTP JSON API
+(:mod:`.server`: ``/v1/allocate``, ``/v1/schedulers``, ``/metrics``)
+with a thin client (:mod:`.client`) and the ``repro serve`` /
+``repro request`` CLI verbs.
+
+Quickstart::
+
+    from repro.service import DecisionService, AllocationRequest
+    from repro.machine import taihulight
+    from repro.workloads import npb6
+
+    with DecisionService() as svc:
+        req = AllocationRequest(
+            applications=tuple(npb6(seq_range=None)),
+            platform=taihulight(),
+            scheduler="dominant-minratio",
+        )
+        first = svc.allocate(req)    # computed
+        again = svc.allocate(req)    # decision-cache hit
+        assert again.cache_hit and again.decision == first.decision
+"""
+
+from .batcher import RequestBatcher
+from .cache import CacheStats, DecisionCache
+from .client import ServiceClient, ServiceError
+from .core import DecisionService
+from .dispatcher import Dispatcher, compute_decision
+from .protocol import (
+    AllocationDecision,
+    AllocationRequest,
+    AllocationResponse,
+    canonical_json,
+    parse_platform,
+    request_from_payload,
+)
+from .server import make_server, serve
+
+__all__ = [
+    "AllocationDecision",
+    "AllocationRequest",
+    "AllocationResponse",
+    "CacheStats",
+    "DecisionCache",
+    "DecisionService",
+    "Dispatcher",
+    "RequestBatcher",
+    "ServiceClient",
+    "ServiceError",
+    "canonical_json",
+    "compute_decision",
+    "make_server",
+    "parse_platform",
+    "request_from_payload",
+    "serve",
+]

@@ -1,0 +1,142 @@
+"""In-memory LRU decision cache with serving counters.
+
+The decision service answers repeated questions from memory: the
+cache maps a request fingerprint (see
+:mod:`repro.service.protocol`) to the computed
+:class:`~repro.service.protocol.AllocationDecision`.  Decisions are
+immutable, so a hit can be handed to any number of concurrent callers
+without copying.
+
+Unlike the on-disk experiment result cache
+(:mod:`repro.experiments.cache`), which holds whole figure grids and
+persists across processes, this cache is a bounded, process-local
+serving structure: capacity-capped, least-recently-used eviction, and
+hit/miss/eviction counters exported through ``/metrics``.  All
+operations are O(1) and thread-safe — HTTP handler threads and the
+dispatch pool share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Generic, Optional, TypeVar
+
+from ..types import ModelError
+
+__all__ = ["DecisionCache", "CacheStats"]
+
+V = TypeVar("V")
+
+
+class CacheStats:
+    """A snapshot of the cache counters (plain attributes, no lock)."""
+
+    __slots__ = ("hits", "misses", "evictions", "size", "capacity")
+
+    def __init__(self, hits: int, misses: int, evictions: int,
+                 size: int, capacity: int):
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+        self.size = size
+        self.capacity = capacity
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before any traffic."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"evictions={self.evictions}, size={self.size}/{self.capacity})")
+
+
+class DecisionCache(Generic[V]):
+    """Thread-safe LRU map from request fingerprint to decision.
+
+    Parameters
+    ----------
+    capacity : int
+        Maximum number of retained decisions (>= 1).  Inserting into a
+        full cache evicts the least-recently-*used* entry — a lookup
+        hit refreshes recency, an insert counts as a use.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ModelError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, V] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[V]:
+        """Return the cached decision or None; counts a hit or a miss."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def peek(self, key: str) -> Optional[V]:
+        """Like :meth:`get` but without touching recency or counters."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, value: V) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            if len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are lifetime totals)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> CacheStats:
+        """Consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

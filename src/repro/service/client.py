@@ -1,0 +1,122 @@
+"""Thin stdlib client for the decision service.
+
+A :class:`ServiceClient` wraps the three endpoints with plain
+``urllib`` — no third-party HTTP stack — and raises
+:class:`ServiceError` carrying the server's JSON ``error`` message on
+non-2xx answers.  ``allocate`` accepts either a ready-made
+:class:`~repro.service.protocol.AllocationRequest` or the raw payload
+pieces (a workload, a platform spec, a scheduler name), so callers on
+the library side never hand-build JSON::
+
+    from repro.service import ServiceClient
+    client = ServiceClient("http://127.0.0.1:8765")
+    reply = client.allocate(workload, "taihulight", scheduler="dominant-minratio")
+    print(reply["decision"]["makespan"], reply["cache_hit"])
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Mapping
+
+from ..core.application import Application, Workload
+from ..core.platform import Platform
+from ..types import ReproError
+from .protocol import AllocationRequest, _app_payload, _platform_payload
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A non-2xx answer from the service (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Minimal blocking client for one service base URL.
+
+    Parameters
+    ----------
+    base_url : str
+        E.g. ``"http://127.0.0.1:8765"`` (trailing slash tolerated).
+    timeout : float
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+    def _call(self, path: str, body: bytes | None = None) -> Any:
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            headers={"Content-Type": "application/json"} if body else {},
+            method="POST" if body is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", exc.reason)
+            except Exception:
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ReproError(
+                f"cannot reach decision service at {self.base_url}: "
+                f"{exc.reason}") from None
+
+    # -- endpoints ---------------------------------------------------------
+    def allocate(
+        self,
+        applications: AllocationRequest | Workload | Iterable[Application] | Iterable[Mapping],
+        platform: Platform | Mapping | str | None = None,
+        *,
+        scheduler: str = "dominant-minratio",
+        seed: int | None = None,
+    ) -> dict[str, Any]:
+        """POST one allocation request; returns the decoded response.
+
+        Passing an :class:`AllocationRequest` uses it verbatim (the
+        other arguments must be left at their defaults); otherwise the
+        payload is assembled from the pieces, with application objects
+        serialized field-for-field and mappings passed through.
+        """
+        if isinstance(applications, AllocationRequest):
+            payload = applications.canonical_payload()
+        else:
+            apps: list[Mapping[str, Any]] = [
+                _app_payload(a) if isinstance(a, Application) else dict(a)
+                for a in applications
+            ]
+            plat: Any = platform if platform is not None else "taihulight"
+            if isinstance(plat, Platform):
+                plat = _platform_payload(plat)
+            payload = {"applications": apps, "platform": plat,
+                       "scheduler": scheduler}
+            if seed is not None:
+                payload["seed"] = seed
+        return self._call("/v1/allocate", json.dumps(payload).encode())
+
+    def schedulers(self) -> list[dict[str, Any]]:
+        """GET the scheduler registry (name-sorted, with metadata)."""
+        return self._call("/v1/schedulers")["schedulers"]
+
+    def metrics(self) -> dict[str, float]:
+        """GET the serving counters (as the raw JSON mapping)."""
+        return self._call("/metrics?format=json")
+
+    def healthy(self) -> bool:
+        """True when ``/healthz`` answers ok."""
+        try:
+            return self._call("/healthz").get("status") == "ok"
+        except ReproError:
+            return False

@@ -1,0 +1,153 @@
+"""The transport-agnostic decision service.
+
+:class:`DecisionService` is the object every front end (the HTTP
+server, the CLI, tests, benchmarks) talks to.  One call —
+:meth:`~DecisionService.allocate` — runs the full serving path:
+
+1. canonicalize + fingerprint the request (:mod:`.protocol`),
+2. answer from the LRU decision cache on a repeat (:mod:`.cache`),
+3. otherwise enqueue into the coalescing batcher (:mod:`.batcher`),
+   which dispatches batches onto the worker pool (:mod:`.dispatcher`),
+4. store the fresh decision and stamp serving metadata (latency,
+   batch size, hit/coalesced flags) onto the response.
+
+The service also aggregates every layer's counters into one
+``metrics()`` mapping — the single source for ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Mapping
+
+from ..types import ModelError
+from .batcher import RequestBatcher
+from .cache import DecisionCache
+from .dispatcher import Dispatcher
+from .protocol import (
+    AllocationDecision,
+    AllocationRequest,
+    AllocationResponse,
+    request_from_payload,
+)
+
+__all__ = ["DecisionService"]
+
+
+class DecisionService:
+    """Batched, cache-backed co-scheduling decision service.
+
+    Parameters
+    ----------
+    cache_capacity : int
+        Decision-cache size (entries).
+    max_batch_size : int
+        Largest batch the batcher dispatches at once.
+    max_wait_ms : float
+        Linger time for filling a batch, in milliseconds (the HTTP
+        and CLI layers expose milliseconds; internals use seconds).
+    workers : int, optional
+        Dispatcher pool size (default: engine's worker resolution).
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_capacity: int = 1024,
+        max_batch_size: int = 16,
+        max_wait_ms: float = 2.0,
+        workers: int | None = None,
+    ):
+        if max_wait_ms < 0:
+            raise ModelError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.cache: DecisionCache[AllocationDecision] = DecisionCache(cache_capacity)
+        self.dispatcher = Dispatcher(workers=workers)
+        self.batcher = RequestBatcher(
+            self.dispatcher.evaluate,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_ms / 1000.0,
+        )
+        self._lock = threading.Lock()
+        self._decisions = 0
+        self._errors = 0
+        self._latency_total_s = 0.0
+
+    # -- serving -----------------------------------------------------------
+    def allocate(self, request: AllocationRequest) -> AllocationResponse:
+        """Serve one request end to end (blocking)."""
+        start = perf_counter()
+        try:
+            key = request.fingerprint()
+        except Exception:
+            with self._lock:
+                self._errors += 1
+            raise
+        cached = self.cache.get(key)
+        if cached is not None:
+            return self._respond(key, cached, start,
+                                 cache_hit=True, coalesced=False, batch_size=0)
+        try:
+            decision, batch_size, coalesced = self.batcher.submit(
+                request, key).result()
+        except Exception:
+            with self._lock:
+                self._errors += 1
+            raise
+        self.cache.put(key, decision)
+        return self._respond(key, decision, start,
+                             cache_hit=False, coalesced=coalesced,
+                             batch_size=batch_size)
+
+    def allocate_payload(self, payload: Mapping) -> AllocationResponse:
+        """Decode a wire payload and serve it (the HTTP/CLI entry point)."""
+        return self.allocate(request_from_payload(payload))
+
+    def _respond(self, key: str, decision: AllocationDecision, start: float,
+                 *, cache_hit: bool, coalesced: bool, batch_size: int,
+                 ) -> AllocationResponse:
+        latency_s = perf_counter() - start
+        with self._lock:
+            self._decisions += 1
+            self._latency_total_s += latency_s
+        return AllocationResponse(
+            request_id=key,
+            decision=decision,
+            cache_hit=cache_hit,
+            coalesced=coalesced,
+            batch_size=batch_size,
+            latency_ms=latency_s * 1000.0,
+        )
+
+    # -- introspection -----------------------------------------------------
+    def metrics(self) -> dict[str, float]:
+        """Flat counter mapping across all serving layers.
+
+        Keys are stable and dot-namespaced (``decisions.total``,
+        ``decision_cache.hits``, ``batcher.batches`` ...); the HTTP
+        layer renders them in Prometheus text form.
+        """
+        with self._lock:
+            out: dict[str, float] = {
+                "decisions.total": self._decisions,
+                "decisions.errors": self._errors,
+                "decisions.latency_seconds_total": self._latency_total_s,
+            }
+        for name, value in self.cache.stats().as_dict().items():
+            out[f"decision_cache.{name}"] = value
+        for name, value in self.batcher.stats().as_dict().items():
+            out[f"batcher.{name}"] = value
+        out["dispatcher.workers"] = self.dispatcher.workers
+        return out
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the batcher and the worker pool."""
+        self.batcher.close()
+        self.dispatcher.close()
+
+    def __enter__(self) -> "DecisionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,107 @@
+"""Decision computation: evaluate allocation requests on a worker pool.
+
+This is the service's bridge to the scheduling machinery built in the
+earlier layers: a request names a strategy in the scheduler registry
+(:mod:`repro.core.registry`), the dispatcher resolves the
+:class:`~repro.core.registry.SchedulerEntry`, runs it on the request's
+workload and platform, and packages the resulting schedule's
+``(procs, cache, times)`` into an immutable
+:class:`~repro.service.protocol.AllocationDecision`.
+
+Batches are evaluated on a shared :class:`ThreadPoolExecutor`.  The
+schedulers are numpy-heavy and release the GIL for most of their
+runtime, so threads capture most of the available parallelism without
+the fork/pickling constraints of the experiment engine's process
+backend — and the pool size honors the same ``REPRO_WORKERS``
+environment knob through the engine's
+:func:`~repro.experiments.engine.resolve_workers`.  Deduplication is
+the batcher's job (it coalesces identical fingerprints before
+dispatch), so a batch reaching :meth:`Dispatcher.evaluate` contains
+only distinct requests and the dispatcher spends no time re-hashing
+them on the latency-bound path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from ..core.registry import get_entry
+from ..experiments.engine import resolve_workers
+from .protocol import AllocationDecision, AllocationRequest
+
+__all__ = ["compute_decision", "Dispatcher"]
+
+#: Cap on the default pool size — decision batches are small and
+#: latency-bound; drowning a small batch in threads helps nothing.
+_MAX_DEFAULT_WORKERS = 8
+
+
+def compute_decision(request: AllocationRequest) -> AllocationDecision:
+    """Evaluate one request: run the named scheduler, package the answer."""
+    entry = get_entry(request.scheduler)
+    seed = request.effective_seed()
+    rng = np.random.default_rng(seed) if seed is not None else None
+    schedule = entry(request.workload(), request.platform, rng)
+    times = schedule.times()
+    procs = getattr(schedule, "procs", np.full(times.size, request.platform.p))
+    cache = getattr(schedule, "cache", np.ones(times.size))
+    return AllocationDecision(
+        names=request.workload().names,
+        procs=tuple(float(p) for p in procs),
+        cache=tuple(float(x) for x in cache),
+        times=tuple(float(t) for t in times),
+        makespan=float(schedule.makespan()),
+        scheduler=entry.name,
+    )
+
+
+class Dispatcher:
+    """A worker pool turning request batches into decision lists.
+
+    Parameters
+    ----------
+    workers : int, optional
+        Pool size; defaults to ``REPRO_WORKERS`` (the experiment
+        engine's knob) capped at 8, or the CPU count when smaller.
+    """
+
+    def __init__(self, workers: int | None = None):
+        if workers is None:
+            workers = min(resolve_workers(None), _MAX_DEFAULT_WORKERS)
+            if not os.environ.get("REPRO_WORKERS"):
+                workers = min(workers, os.cpu_count() or 1)
+        self.workers = resolve_workers(workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-dispatch")
+
+    def evaluate(self, requests: Sequence[AllocationRequest],
+                 ) -> list[AllocationDecision | Exception]:
+        """Evaluate a batch; position *i* answers ``requests[i]``.
+
+        A failing request (unknown scheduler, infeasible model input)
+        yields its exception *in place* rather than poisoning the
+        batch — concurrent callers coalesced onto other slots must
+        still get their answers.
+        """
+        def _one(req: AllocationRequest) -> AllocationDecision | Exception:
+            try:
+                return compute_decision(req)
+            except Exception as exc:
+                return exc
+
+        if len(requests) == 1:
+            return [_one(requests[0])]
+        return list(self._pool.map(_one, requests))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "Dispatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,118 @@
+"""Tests for the size-capped eviction of the on-disk result cache."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments import Experiment, ResultCache, run_experiment
+from repro.machine import taihulight
+from repro.workloads import npb_synth
+
+
+def _entry(cache_dir, name: str, size: int, age_s: float):
+    """Drop a fake cache entry of *size* bytes, *age_s* seconds old."""
+    path = cache_dir / f"{name}.npz"
+    path.write_bytes(b"\0" * size)
+    stamp = time.time() - age_s
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path)
+
+
+class TestPrune:
+    def test_oldest_entries_go_first(self, cache, tmp_path):
+        old = _entry(tmp_path, "fig1-old", 100, age_s=300)
+        mid = _entry(tmp_path, "fig2-mid", 100, age_s=200)
+        new = _entry(tmp_path, "fig3-new", 100, age_s=100)
+        report = cache.prune(max_bytes=250)
+        assert report.deleted == (old,)
+        assert report.freed_bytes == 100
+        assert report.kept_bytes == 200
+        assert not old.exists() and mid.exists() and new.exists()
+
+    def test_under_budget_is_a_noop(self, cache, tmp_path):
+        _entry(tmp_path, "fig1-a", 100, age_s=10)
+        report = cache.prune(max_bytes=1000)
+        assert report.deleted == ()
+        assert report.kept_bytes == 100
+
+    def test_zero_budget_empties_cache(self, cache, tmp_path):
+        for i in range(3):
+            _entry(tmp_path, f"fig{i}-x", 50, age_s=i)
+        report = cache.prune(max_bytes=0)
+        assert len(report.deleted) == 3
+        assert report.kept_bytes == 0
+        assert cache.entries() == []
+
+    def test_negative_budget_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.prune(max_bytes=-1)
+
+    def test_dry_run_reports_without_deleting(self, cache, tmp_path):
+        old = _entry(tmp_path, "fig1-old", 100, age_s=300)
+        new = _entry(tmp_path, "fig2-new", 100, age_s=100)
+        report = cache.prune(max_bytes=100, dry_run=True)
+        # same selection a real pass would make, nothing unlinked
+        assert report.deleted == (old,)
+        assert report.freed_bytes == 100 and report.kept_bytes == 100
+        assert old.exists() and new.exists()
+        assert cache.prune(max_bytes=100).deleted == (old,)
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.entries() == []
+        assert cache.size_bytes() == 0
+        assert cache.prune(max_bytes=0).deleted == ()
+
+    def test_non_npz_files_are_untouched(self, cache, tmp_path):
+        keep = tmp_path / "README.txt"
+        keep.write_text("not a cache entry")
+        _entry(tmp_path, "fig1-a", 100, age_s=10)
+        cache.prune(max_bytes=0)
+        assert keep.exists()
+
+    def test_size_bytes_sums_entries(self, cache, tmp_path):
+        _entry(tmp_path, "fig1-a", 100, age_s=10)
+        _entry(tmp_path, "fig2-b", 250, age_s=20)
+        assert cache.size_bytes() == 350
+
+
+class TestLoadRefreshesRecency:
+    def _experiment(self, experiment_id: str) -> Experiment:
+        def factory(point, rng):
+            return npb_synth(int(point), rng), taihulight()
+
+        return Experiment(
+            experiment_id=experiment_id,
+            title="t", xlabel="x",
+            points=np.array([2.0]),
+            factory=factory,
+            schedulers=("fair",),
+            reps=1,
+        )
+
+    def test_hit_entry_survives_prune(self, tmp_path):
+        """A cache hit must refresh the entry's mtime, so the recently
+        *read* (not recently written) entry wins the byte budget."""
+        cache = ResultCache(tmp_path)
+        first = self._experiment("figA")
+        second = self._experiment("figB")
+        run_experiment(first, cache_dir=tmp_path)
+        run_experiment(second, cache_dir=tmp_path)
+        # age both, then touch figA via a cache hit
+        for path in cache.entries():
+            stamp = time.time() - 500
+            os.utime(path, (stamp, stamp))
+        run_experiment(first, cache_dir=tmp_path)  # hit -> mtime refresh
+        sizes = {p.name.split("-")[0]: p.stat().st_size for p in cache.entries()}
+        report = cache.prune(max_bytes=sizes["figA"])
+        assert [p.name.startswith("figB") for p in report.deleted] == [True]
+        assert cache.entries()[0].name.startswith("figA")

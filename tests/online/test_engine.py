@@ -42,6 +42,64 @@ class TestBatchArrivals:
         assert np.allclose(res.flow_times, res.finish_times)
 
 
+class TestIdenticalArrivals:
+    """Every application arrives at the same (possibly nonzero) instant.
+
+    Simultaneous arrivals exercise the event loop's tie handling: one
+    arrival event must admit the whole cohort, not one app per event.
+    """
+
+    def test_shifted_cohort_matches_offline_plus_offset(self, wl, pf):
+        """Arrivals all at t0 > 0: the machine idles to t0, then the
+        run is exactly the all-at-zero one shifted by t0."""
+        t0 = 1e9
+        shifted = simulate_online(wl, pf, np.full(10, t0), policy="dominant")
+        base = simulate_online(wl, pf, np.zeros(10), policy="dominant")
+        assert np.allclose(shifted.finish_times, base.finish_times + t0,
+                           rtol=1e-9)
+        assert shifted.makespan == pytest.approx(base.makespan + t0, rel=1e-9)
+
+    def test_flow_times_unchanged_by_shift(self, wl, pf):
+        t0 = 3.7e8
+        shifted = simulate_online(wl, pf, np.full(10, t0), policy="fair")
+        base = simulate_online(wl, pf, np.zeros(10), policy="fair")
+        assert np.allclose(shifted.flow_times, base.flow_times, rtol=1e-9)
+
+    def test_single_arrival_event_admits_whole_cohort(self, wl, pf):
+        """One arrival event admits the whole simultaneous cohort: the
+        shifted run costs exactly as many events as the t=0 run (both
+        spend one admission step), not one event per application."""
+        t0 = 1e9
+        base = simulate_online(wl, pf, np.zeros(10), policy="dominant")
+        shifted = simulate_online(wl, pf, np.full(10, t0), policy="dominant")
+        assert shifted.events == base.events
+        assert shifted.events < 2 * 10  # far below one event per app pair
+
+    def test_fcfs_ties_broken_by_index(self, pf, rng):
+        """With identical arrivals the fcfs order falls back to input
+        order (stable argsort), so completion order is index order."""
+        wl = npb_synth(5, rng)
+        res = simulate_online(wl, pf, np.full(5, 1e8), policy="fcfs")
+        order = np.argsort(res.finish_times)
+        assert list(order) == list(range(5))
+
+    @pytest.mark.parametrize("policy", ["dominant", "fair", "fcfs",
+                                        "dominant-minratio"])
+    def test_all_policies_complete_identical_arrivals(self, wl, pf, policy):
+        res = simulate_online(wl, pf, np.full(10, 5e8), policy=policy)
+        assert np.all(res.finish_times > res.arrival_times)
+        assert res.makespan > 5e8
+
+    def test_two_simultaneous_waves(self, pf, rng):
+        """Two cohorts, each internally simultaneous."""
+        wl = npb_synth(8, rng)
+        arrivals = np.array([0.0] * 4 + [1e9] * 4)
+        res = simulate_online(wl, pf, arrivals, policy="dominant")
+        assert np.all(res.finish_times > res.arrival_times)
+        # the late wave cannot finish before it arrives
+        assert np.all(res.finish_times[4:] > 1e9)
+
+
 class TestStaggeredArrivals:
     @pytest.fixture
     def arrivals(self, wl, pf):

@@ -1,0 +1,154 @@
+"""Tests for the coalescing request batcher (deterministic, no HTTP)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.batcher import RequestBatcher
+from repro.types import ModelError
+
+
+def _submit_n(batcher, n, *, key=None):
+    """Submit n dummy requests (distinct keys unless *key* is given)."""
+    return [
+        batcher.submit(f"req{i}", key if key is not None else f"key{i}")
+        for i in range(n)
+    ]
+
+
+class TestBatching:
+    def test_full_batch_dispatches_in_one_call(self):
+        calls: list[list] = []
+
+        def evaluate(reqs):
+            calls.append(list(reqs))
+            return [f"dec:{r}" for r in reqs]
+
+        # A long linger forces the batch to dispatch on *fullness*,
+        # making the test timing-independent.
+        with RequestBatcher(evaluate, max_batch_size=3, max_wait_s=30.0) as b:
+            futures = _submit_n(b, 3)
+            results = [f.result(timeout=10) for f in futures]
+        assert len(calls) == 1 and len(calls[0]) == 3
+        for i, (decision, batch_size, coalesced) in enumerate(results):
+            assert decision == f"dec:req{i}"
+            assert batch_size == 3
+            assert coalesced is False
+
+    def test_single_request_dispatches_after_linger(self):
+        with RequestBatcher(lambda reqs: ["d"] * len(reqs),
+                            max_batch_size=8, max_wait_s=0.01) as b:
+            decision, batch_size, coalesced = b.submit("r", "k").result(timeout=10)
+        assert decision == "d" and batch_size == 1 and not coalesced
+
+    def test_zero_wait_still_serves(self):
+        with RequestBatcher(lambda reqs: ["d"] * len(reqs),
+                            max_batch_size=8, max_wait_s=0.0) as b:
+            assert b.submit("r", "k").result(timeout=10)[0] == "d"
+
+    def test_stats(self):
+        with RequestBatcher(lambda reqs: ["d"] * len(reqs),
+                            max_batch_size=2, max_wait_s=30.0) as b:
+            futures = _submit_n(b, 2)
+            for f in futures:
+                f.result(timeout=10)
+            stats = b.stats()
+        assert stats.batches == 1
+        assert stats.requests == 2
+        assert stats.max_batch_seen == 2
+        assert stats.mean_batch_size == pytest.approx(2.0)
+
+
+class TestCoalescing:
+    def test_identical_keys_computed_once(self):
+        calls: list[list] = []
+
+        def evaluate(reqs):
+            calls.append(list(reqs))
+            return [f"dec:{r}" for r in reqs]
+
+        with RequestBatcher(evaluate, max_batch_size=3, max_wait_s=30.0) as b:
+            futures = _submit_n(b, 3, key="same")
+            results = [f.result(timeout=10) for f in futures]
+        # one evaluate call, one unique request inside it
+        assert len(calls) == 1 and calls[0] == ["req0"]
+        decisions = [r[0] for r in results]
+        assert decisions == ["dec:req0"] * 3
+        # exactly the first occurrence is "not coalesced"
+        assert [r[2] for r in results] == [False, True, True]
+        assert b.stats().coalesced == 2
+
+
+class TestFailure:
+    def test_per_request_exception_lands_on_its_future(self):
+        def evaluate(reqs):
+            return [
+                ModelError("boom") if r == "req1" else f"dec:{r}"
+                for r in reqs
+            ]
+
+        with RequestBatcher(evaluate, max_batch_size=3, max_wait_s=30.0) as b:
+            futures = _submit_n(b, 3)
+            assert futures[0].result(timeout=10)[0] == "dec:req0"
+            with pytest.raises(ModelError, match="boom"):
+                futures[1].result(timeout=10)
+            assert futures[2].result(timeout=10)[0] == "dec:req2"
+
+    def test_evaluator_crash_fails_whole_batch(self):
+        def evaluate(reqs):
+            raise RuntimeError("pool on fire")
+
+        with RequestBatcher(evaluate, max_batch_size=2, max_wait_s=30.0) as b:
+            futures = _submit_n(b, 2)
+            for f in futures:
+                with pytest.raises(RuntimeError, match="pool on fire"):
+                    f.result(timeout=10)
+
+    def test_wrong_result_count_detected(self):
+        with RequestBatcher(lambda reqs: ["only-one"],
+                            max_batch_size=2, max_wait_s=30.0) as b:
+            futures = _submit_n(b, 2)
+            for f in futures:
+                with pytest.raises(ModelError, match="results"):
+                    f.result(timeout=10)
+
+
+class TestLifecycle:
+    def test_submit_after_close_rejected(self):
+        b = RequestBatcher(lambda reqs: ["d"] * len(reqs))
+        b.close()
+        with pytest.raises(ModelError, match="closed"):
+            b.submit("r", "k")
+
+    def test_close_is_idempotent(self):
+        b = RequestBatcher(lambda reqs: ["d"] * len(reqs))
+        b.close()
+        b.close()
+
+    def test_knob_validation(self):
+        with pytest.raises(ModelError):
+            RequestBatcher(lambda reqs: [], max_batch_size=0)
+        with pytest.raises(ModelError):
+            RequestBatcher(lambda reqs: [], max_wait_s=-1.0)
+
+    def test_concurrent_submitters(self):
+        """Many threads, one batcher: every caller gets its own answer."""
+        with RequestBatcher(lambda reqs: [f"dec:{r}" for r in reqs],
+                            max_batch_size=4, max_wait_s=0.005) as b:
+            results: dict[int, str] = {}
+            lock = threading.Lock()
+
+            def caller(i: int):
+                decision, _, _ = b.submit(f"req{i}", f"key{i}").result(timeout=10)
+                with lock:
+                    results[i] = decision
+
+            threads = [threading.Thread(target=caller, args=(i,))
+                       for i in range(16)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert results == {i: f"dec:req{i}" for i in range(16)}

@@ -84,3 +84,35 @@ class TestWorkConserving:
         static = simulate_schedule(s, policy="static")
         wc = simulate_schedule(s, policy="work-conserving")
         assert wc.makespan == pytest.approx(static.makespan, rel=1e-9)
+
+    def test_property_never_later_across_seeds_and_schedulers(self, pf):
+        """Property sweep: over many random instances and *every*
+        registered concurrent strategy, the work-conserving policy
+        never finishes later than the static one — per application,
+        not just on the makespan (extra processors can only help)."""
+        from repro.core import scheduler_names
+        from repro.workloads import npb_synth, random_workload
+
+        checked = 0
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            wl = (npb_synth if seed % 2 else random_workload)(6, rng)
+            for name in scheduler_names():
+                s = get_scheduler(name)(wl, pf, np.random.default_rng(seed))
+                if not s.concurrent:
+                    continue
+                static = simulate_schedule(s, policy="static")
+                wc = simulate_schedule(s, policy="work-conserving")
+                slack = 1 + 1e-9
+                assert wc.makespan <= static.makespan * slack, (seed, name)
+                assert np.all(wc.finish_times
+                              <= static.finish_times * slack), (seed, name)
+                checked += 1
+        assert checked >= 40  # the sweep actually covered the registry
+
+    def test_work_conserving_respects_processor_budget(self, synth16, pf):
+        """Redistribution moves processors around but never mints new
+        ones: peak usage equals the schedule's total allocation."""
+        s = get_scheduler("fair")(synth16, pf, None)
+        wc = simulate_schedule(s, policy="work-conserving")
+        assert wc.peak_processors <= float(s.procs.sum()) * (1 + 1e-9)

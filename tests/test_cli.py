@@ -12,6 +12,62 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--max-batch", "8",
+             "--max-wait-ms", "5", "--cache-capacity", "64"])
+        assert args.port == 9000 and args.max_batch == 8
+        assert args.max_wait_ms == 5.0 and args.cache_capacity == 64
+
+    def test_request_args(self):
+        args = build_parser().parse_args(
+            ["request", "--url", "http://h:1", "--napps", "4",
+             "--scheduler", "fair", "--repeat", "3"])
+        assert args.url == "http://h:1" and args.repeat == 3
+
+    def test_cache_prune_args(self):
+        args = build_parser().parse_args(
+            ["cache", "prune", "--max-bytes", "500M", "--dry-run"])
+        assert args.cache_command == "prune"
+        assert args.max_bytes == 500_000_000
+        assert args.dry_run
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize("text, expected", [
+        ("1024", 1024),
+        ("500M", 500_000_000),
+        ("500MB", 500_000_000),
+        ("2G", 2_000_000_000),
+        ("1.5K", 1500),
+        ("0", 0),
+    ])
+    def test_accepted(self, text, expected):
+        from repro.cli import parse_bytes
+
+        assert parse_bytes(text) == expected
+
+    @pytest.mark.parametrize("text", ["abc", "12Q", "-5", "", "inf", "nan"])
+    def test_rejected(self, text):
+        import argparse
+
+        from repro.cli import parse_bytes
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_bytes(text)
+
     def test_figure_args(self):
         args = build_parser().parse_args(["figure", "fig3", "--reps", "2"])
         assert args.figure_id == "fig3"
@@ -86,6 +142,62 @@ class TestCommands:
         assert main(["validate", "--napps", "6"]) == 0
         out = capsys.readouterr().out
         assert "ok" in out and "MISMATCH" not in out
+
+    def test_list_schedulers_sorted(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        table = out.split("figures:")[0]
+        names = [line.split()[0] for line in table.splitlines()[3:] if line.strip()]
+        assert names == sorted(names)
+        assert len(names) >= 10
+
+    def test_cache_info_and_prune(self, tmp_path, capsys):
+        (tmp_path / "figx-aaaa.npz").write_bytes(b"\0" * 100)
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries, 100 bytes" in out
+        assert main(["cache", "prune", "--max-bytes", "50", "--dry-run",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "would delete 1" in capsys.readouterr().out
+        assert (tmp_path / "figx-aaaa.npz").exists()  # dry run deletes nothing
+        assert main(["cache", "prune", "--max-bytes", "50",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "deleted 1 entries, freed 100" in capsys.readouterr().out
+        assert not (tmp_path / "figx-aaaa.npz").exists()
+
+    def test_cache_without_directory_fails(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "info"]) == 2
+        assert "REPRO_CACHE_DIR" in capsys.readouterr().err
+
+    def test_request_against_live_server(self, capsys):
+        import threading
+
+        from repro.service import DecisionService, make_server
+
+        service = DecisionService(max_wait_ms=0.5, workers=2)
+        server = make_server("127.0.0.1", 0, service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            url = f"http://{host}:{port}"
+            assert main(["request", "--url", url, "--napps", "4",
+                         "--repeat", "2"]) == 0
+            captured = capsys.readouterr()
+            assert "makespan" in captured.out
+            assert "decision-cache hit" in captured.err
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=5)
+
+    def test_request_unreachable_server(self):
+        from repro.types import ReproError
+
+        with pytest.raises(ReproError, match="cannot reach"):
+            main(["request", "--url", "http://127.0.0.1:1", "--napps", "2"])
 
     def test_figure_custom_normalization(self, monkeypatch, capsys):
         import numpy as np
