@@ -8,6 +8,7 @@ Examples::
     python -m repro schedule --dataset npb-synth --napps 32 --scheduler dominant-minratio
     python -m repro cluster --napps 48 --nodes 4
     python -m repro pipeline --napps 16
+    python -m repro online --napps 16 --policy fair --arrivals poisson:rate=5e-9
     python -m repro validate --napps 32
     python -m repro list
     python -m repro serve --port 8765
@@ -96,6 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
     pipe.add_argument("--napps", type=int, default=16)
     pipe.add_argument("--platform", choices=list(PRESETS), default="taihulight")
     pipe.add_argument("--seed", type=int, default=2017)
+
+    onl = sub.add_parser(
+        "online",
+        help="simulate dynamic arrivals under a reallocation policy")
+    onl.add_argument("--dataset", choices=list(DATASETS), default="npb-synth")
+    onl.add_argument("--napps", type=int, default=16)
+    onl.add_argument("--platform", choices=list(PRESETS), default="taihulight")
+    onl.add_argument(
+        "--policy", default="dominant",
+        help="builtin policy (dominant, fair, fcfs) or any registered "
+             "concurrent scheduler name")
+    onl.add_argument(
+        "--arrivals", default="batch",
+        help="arrival source spec: batch[:at=T], constant:period=P[,start=S], "
+             "poisson:rate=R[,burst=B,period=P], trace:PATH "
+             "(rates are arrivals per model time unit; NPB-scale workloads "
+             "run ~1e8-1e9 time units, so e.g. poisson:rate=5e-9)")
+    onl.add_argument("--seed", type=int, default=2017)
 
     val = sub.add_parser("validate",
                          help="check model vs discrete-event simulation")
@@ -275,6 +294,35 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _cmd_online(args) -> int:
+    from .online import parse_arrival_spec, simulate_online
+
+    source = parse_arrival_spec(args.arrivals)
+    rng = np.random.default_rng(args.seed)
+    workload = generate(args.dataset, args.napps, rng)
+    platform = get_preset(args.platform)
+    # One seeded stream drives workload, arrivals, and any randomized
+    # policy in sequence — the whole scenario replays from --seed.
+    arrivals = source.times(args.napps, rng)
+    result = simulate_online(workload, platform, arrivals,
+                             policy=args.policy, rng=rng)
+    print(f"{args.policy} on {platform.name}: {args.napps} apps, "
+          f"arrivals {args.arrivals}")
+    rows = [
+        [name, arr, fin, flow]
+        for name, arr, fin, flow in zip(
+            workload.names, result.arrival_times, result.finish_times,
+            result.flow_times)
+    ]
+    print(format_table(["app", "arrival", "finish", "flow"], rows))
+    print()
+    print(f"makespan:  {result.makespan:.6g}")
+    print(f"mean flow: {result.mean_flow:.6g}")
+    print(f"max flow:  {result.max_flow:.6g}")
+    print(f"events:    {result.events}")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from .simulate import validate_schedule
 
@@ -405,6 +453,7 @@ def main(argv: list[str] | None = None) -> int:
         "schedule": _cmd_schedule,
         "cluster": _cmd_cluster,
         "pipeline": _cmd_pipeline,
+        "online": _cmd_online,
         "validate": _cmd_validate,
         "list": _cmd_list,
         "serve": _cmd_serve,

@@ -40,7 +40,8 @@ __all__ = [
 ]
 
 
-def cache_weights(workload: Workload, platform: Platform) -> np.ndarray:
+def cache_weights(workload: Workload, platform: Platform, *,
+                  work=None) -> np.ndarray:
     """Per-application weights ``(w_i f_i d_i)^(1/(alpha+1))``.
 
     These are the unnormalized optimal cache shares of Lemma 4: within
@@ -48,13 +49,19 @@ def cache_weights(workload: Workload, platform: Platform) -> np.ndarray:
     weight divided by the subset's total weight.  Applications that
     never touch memory (``f == 0``) or never miss (``m0 == 0``) have
     weight 0.
+
+    *work* overrides the workload's total operations — the online
+    engine passes each application's *remaining* work so a nearly done
+    application does not hold a large partition.
     """
     d = workload.miss_coefficients(platform)
-    base = workload.work * workload.freq * d
+    w = workload.work if work is None else np.asarray(work, dtype=np.float64)
+    base = w * workload.freq * d
     return base ** (1.0 / (platform.alpha + 1.0))
 
 
-def dominance_ratios(workload: Workload, platform: Platform) -> np.ndarray:
+def dominance_ratios(workload: Workload, platform: Platform, *,
+                     work=None) -> np.ndarray:
     """Per-application ratios ``weight_i / d_i^(1/alpha)`` of Definition 4.
 
     An application belongs to a dominant subset only when its ratio
@@ -63,9 +70,11 @@ def dominance_ratios(workload: Workload, platform: Platform) -> np.ndarray:
     epsilon of cache is never *harmful* under the convention of Eq. 3,
     but their weight is 0 so they also never attract cache.  The
     heuristics therefore naturally leave them out of ``IC``.
+
+    *work* overrides the total operations, as in :func:`cache_weights`.
     """
     d = workload.miss_coefficients(platform)
-    weights = cache_weights(workload, platform)
+    weights = cache_weights(workload, platform, work=work)
     thresholds = d ** (1.0 / platform.alpha)
     with np.errstate(divide="ignore", invalid="ignore"):
         ratios = weights / thresholds

@@ -42,6 +42,7 @@ from .schedule import Schedule
 __all__ = [
     "ChoiceName",
     "make_choice",
+    "evict_until_dominant",
     "dominant_partition",
     "dominant_rev_partition",
     "dominant_schedule",
@@ -86,6 +87,39 @@ def make_choice(name: ChoiceName) -> ChoiceFn:
         ) from None
 
 
+def evict_until_dominant(
+    weights: np.ndarray,
+    ratios: np.ndarray,
+    mask: np.ndarray,
+    choice: ChoiceName | ChoiceFn = "minratio",
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Algorithm 1's eviction core over raw weight / ratio arrays.
+
+    Starting from *mask*, applications are evicted (picked by the
+    *choice* function among the current members) until Definition 4
+    holds: every member's dominance ratio exceeds the subset's total
+    weight.  Shared by :func:`dominant_partition` (full work) and the
+    online engine's remaining-work repartitioning — one eviction loop,
+    one set of boundary semantics.
+
+    Returns a new mask; the input is not mutated.
+    """
+    choice_fn = make_choice(choice) if isinstance(choice, str) else choice
+    rng = rng if rng is not None else np.random.default_rng()
+
+    mask = np.asarray(mask, dtype=bool).copy()
+    while mask.any():
+        total = float(weights[mask].sum())
+        violating = mask & (ratios <= total)
+        if not violating.any():
+            break
+        candidates = np.flatnonzero(mask)
+        k = candidates[choice_fn(candidates, ratios, rng)]
+        mask[k] = False
+    return mask
+
+
 def dominant_partition(
     workload: Workload,
     platform: Platform,
@@ -99,22 +133,9 @@ def dominant_partition(
     unconditionally; they would otherwise linger with ratio ``inf``
     while contributing nothing.
     """
-    choice_fn = make_choice(choice) if isinstance(choice, str) else choice
-    rng = rng if rng is not None else np.random.default_rng()
-
     weights = cache_weights(workload, platform)
     ratios = dominance_ratios(workload, platform)
-
-    mask = weights > 0.0
-    while mask.any():
-        total = float(weights[mask].sum())
-        violating = mask & (ratios <= total)
-        if not violating.any():
-            break
-        candidates = np.flatnonzero(mask)
-        k = candidates[choice_fn(candidates, ratios, rng)]
-        mask[k] = False
-    return mask
+    return evict_until_dominant(weights, ratios, weights > 0.0, choice, rng)
 
 
 def dominant_rev_partition(

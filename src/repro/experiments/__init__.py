@@ -15,6 +15,7 @@ from .figures import (
     build_figure,
     figure_ids,
 )
+from .online import ONLINE_METRICS, build_online_experiment
 from .results import MAKESPAN, ExperimentResult
 from .runner import DEFAULT_METRICS, Experiment, run_experiment
 from .table2 import ProfiledBenchmark, regenerate_table2
@@ -42,6 +43,8 @@ __all__ = [
     "figure_ids",
     "format_table",
     "render_result",
+    "ONLINE_METRICS",
+    "build_online_experiment",
     "ProfiledBenchmark",
     "regenerate_table2",
 ]

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from ..core.registry import SchedulerEntry, get_entry
+from ..types import ModelError
 from .results import ExperimentResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -105,11 +106,28 @@ def spec_fingerprint(exp: "Experiment") -> str:
     ]
     for name in exp.schedulers:
         parts.append(f"scheduler={name}")
-        _callable_fingerprint(get_entry(name), parts)
+        if exp.evaluate is None:
+            _callable_fingerprint(get_entry(name), parts)
+        else:
+            # With a direct evaluator the names are policy labels the
+            # evaluator interprets; those that do resolve to registry
+            # entries are still fingerprinted (the evaluator may run
+            # them — editing such a scheduler must invalidate the
+            # entry), while evaluator-private labels hash by name.
+            try:
+                entry = get_entry(name)
+            except ModelError:
+                continue
+            _callable_fingerprint(entry, parts)
     for metric in sorted(exp.metrics):
         parts.append(f"metric={metric}")
-        _callable_fingerprint(exp.metrics[metric], parts)
+        fn = exp.metrics[metric]
+        if fn is not None:
+            _callable_fingerprint(fn, parts)
     _callable_fingerprint(exp.factory, parts)
+    if exp.evaluate is not None:
+        parts.append("evaluate")
+        _callable_fingerprint(exp.evaluate, parts)
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
 

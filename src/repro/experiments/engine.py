@@ -176,6 +176,22 @@ def _chunk(tasks: Sequence[Task], nchunks: int) -> list[list[Task]]:
     return [list(tasks[a:b]) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
 
 
+def _scenario_seed(instance_seed: np.random.SeedSequence) -> np.random.SeedSequence:
+    """The per-cell scenario stream, derived without mutating the tree.
+
+    Reconstructs ``instance_seed.spawn(1)[0]`` explicitly (the factory
+    only ever consumes the *generator* built from ``instance_seed``,
+    never spawns from the sequence itself, so child 0 is free) — the
+    historical spawn counts, and therefore every existing result and
+    cache entry, are untouched, and the derivation is stable across
+    chunkings and backends.
+    """
+    return np.random.SeedSequence(
+        entropy=instance_seed.entropy,
+        spawn_key=tuple(instance_seed.spawn_key) + (0,),
+    )
+
+
 def _run_batch(exp: "Experiment", batch: Iterable[Task]) -> list[dict[str, float]]:
     """Evaluate a batch of tasks; returns one metric dict per task.
 
@@ -191,6 +207,18 @@ def _run_batch(exp: "Experiment", batch: Iterable[Task]) -> list[dict[str, float
             memo[cell] = exp.factory(
                 task.point, np.random.default_rng(task.instance_seed))
         workload, platform = memo[cell]
+        if exp.evaluate is not None:
+            sample = exp.evaluate(
+                workload, platform, task.scheduler,
+                np.random.default_rng(_scenario_seed(task.instance_seed)),
+                np.random.default_rng(task.scheduler_seed))
+            missing = exp.metrics.keys() - sample.keys()
+            if missing:
+                raise ModelError(
+                    f"evaluator returned no value for metric(s) "
+                    f"{sorted(missing)} (declared: {sorted(exp.metrics)})")
+            out.append({metric: sample[metric] for metric in exp.metrics})
+            continue
         entry = get_entry(task.scheduler)
         schedule = entry(workload, platform,
                          np.random.default_rng(task.scheduler_seed))

@@ -41,6 +41,16 @@ InstanceFactory = Callable[[float, np.random.Generator], tuple[Workload, Platfor
 #: Metric: schedule -> float.
 MetricFn = Callable[[BaseSchedule], float]
 
+#: Direct evaluator: (workload, platform, strategy name, scenario rng,
+#: strategy rng) -> {metric: float}.  The scenario rng is shared by
+#: every strategy at the same (rep, point) cell — e.g. so all online
+#: policies face the same generated arrival stream — while the
+#: strategy rng is that strategy's independent stream.
+EvaluateFn = Callable[
+    [Workload, Platform, str, np.random.Generator, np.random.Generator],
+    dict[str, float],
+]
+
 DEFAULT_METRICS: dict[str, MetricFn] = {MAKESPAN: lambda s: s.makespan()}
 
 
@@ -69,6 +79,17 @@ class Experiment:
         None defers to the ``REPRO_BACKEND`` environment variable and
         ultimately to ``"serial"``.  The backend never changes the
         result, only how fast it arrives.
+    evaluate : EvaluateFn | None
+        When set, replaces the registry-scheduler + metric-function
+        path entirely: each grid cell calls ``evaluate(workload,
+        platform, name, scenario_rng, strategy_rng)`` and records the
+        returned dict, whose keys must be exactly ``metrics``' keys
+        (their values are then unused — ``None`` is fine).  This is
+        how non-schedule evaluations (e.g. the online engine under
+        generated arrival streams, see
+        :mod:`repro.experiments.online`) ride the same grid, backends,
+        and result cache.  ``schedulers`` may then name anything the
+        evaluator understands (e.g. online builtin policies).
     """
 
     experiment_id: str
@@ -81,6 +102,7 @@ class Experiment:
     reps: int = 10
     seed: int = 2017
     backend: str | None = None
+    evaluate: EvaluateFn | None = None
 
     def __post_init__(self) -> None:
         self.points = np.asarray(self.points, dtype=np.float64)

@@ -1,7 +1,18 @@
 """Online co-scheduling: dynamic arrivals with cache repartitioning."""
 
 from .allocation import remaining_equal_finish
+from .arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalSource,
+    BatchSource,
+    ConstantRate,
+    PoissonProcess,
+    TraceSource,
+    parse_arrival_spec,
+)
 from .engine import BUILTIN_POLICIES, OnlineResult, simulate_online
 
 __all__ = ["remaining_equal_finish", "BUILTIN_POLICIES", "OnlineResult",
-           "simulate_online"]
+           "simulate_online", "ARRIVAL_KINDS", "ArrivalSource", "BatchSource",
+           "ConstantRate", "PoissonProcess", "TraceSource",
+           "parse_arrival_spec"]

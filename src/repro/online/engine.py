@@ -7,16 +7,27 @@ or a completion) the policy repartitions the cache and the processors
 among the applications currently in the system, and execution proceeds
 under the Eq. 2 model until the next event.
 
+The clock is the shared event kernel (:mod:`repro.simulate.kernel`);
+this module contributes only the reallocation policies.  In
+particular, arrival admission uses the kernel's canonical combined
+abs+rel tolerance — the historical relative-only check admitted
+nothing early at ``now == 0`` except by accident and over-admitted at
+large ``now``.  Arrival streams beyond hand-passed arrays (constant
+rate, inhomogeneous Poisson, trace replay) live in
+:mod:`repro.online.arrivals`.
+
 Policies
 --------
 ``"dominant"``
     Recompute a dominant partition over the *active* applications
     using their remaining work in the weights, Theorem-3 fractions,
     and the remaining-work equal-finish processor split — the paper's
-    machinery applied online.
+    machinery applied online.  The eviction loop is the exact
+    Algorithm-1 core shared with the offline heuristics
+    (:func:`repro.core.heuristics.evict_until_dominant`).
 ``"fair"``
     Equal processors, access-frequency-proportional cache among the
-    active applications.
+    active applications (``1/n`` each when no one accesses memory).
 ``"fcfs"``
     One application at a time (arrival order), whole machine + whole
     cache — the no-co-scheduling baseline.
@@ -43,8 +54,10 @@ import numpy as np
 from ..core.application import Workload
 from ..core.dominance import cache_weights, dominance_ratios
 from ..core.execution import access_cost_factor
+from ..core.heuristics import evict_until_dominant
 from ..core.platform import Platform
 from ..core.registry import get_entry, scheduler_names
+from ..simulate.kernel import run_phase_kernel
 from ..types import ModelError
 from .allocation import remaining_equal_finish
 
@@ -56,8 +69,6 @@ BUILTIN_POLICIES: tuple[str, ...] = ("dominant", "fair", "fcfs")
 
 #: A policy is a builtin name or any registered concurrent scheduler.
 Policy = str
-
-_REL_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -106,25 +117,13 @@ def _dominant_fractions_remaining(
 
     Weights use the *remaining* work (an application nearly done should
     not hold a large partition); the dominance ratios follow Definition
-    4 with those weights.
+    4 with those weights, and the eviction is the shared Algorithm-1
+    core with the MinRatio choice.
     """
-    d = workload.miss_coefficients(platform)
-    base = work_left * workload.freq * d
-    weights = base ** (1.0 / (platform.alpha + 1.0))
-    thresholds = d ** (1.0 / platform.alpha)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        ratios = np.where(thresholds > 0, weights / thresholds, np.inf)
-
-    mask = active & (weights > 0)
-    while mask.any():
-        total = float(weights[mask].sum())
-        violating = mask & (ratios <= total)
-        if not violating.any():
-            break
-        # evict the worst offender (MinRatio)
-        idx = np.flatnonzero(violating)
-        mask[idx[np.argmin(ratios[idx])]] = False
-
+    weights = cache_weights(workload, platform, work=work_left)
+    ratios = dominance_ratios(workload, platform, work=work_left)
+    mask = evict_until_dominant(weights, ratios, active & (weights > 0),
+                                "minratio")
     x = np.zeros(workload.n)
     if mask.any():
         total = float(weights[mask].sum())
@@ -247,77 +246,28 @@ def simulate_online(
     if np.any(arrivals < 0):
         raise ModelError("arrival times must be >= 0")
 
-    n = workload.n
-    seq_left = workload.seq * workload.work
-    par_left = (1.0 - workload.seq) * workload.work
-    arrived = np.zeros(n, dtype=bool)
-    finished = np.zeros(n, dtype=bool)
-    finish = np.zeros(n)
     fcfs_order = np.argsort(np.argsort(arrivals, kind="stable")).astype(np.float64)
 
-    now = 0.0
-    events = 0
-    limit = max_events if max_events is not None else 20 * n + 10
-
-    while not finished.all():
-        events += 1
-        if events > limit:
-            raise ModelError("online simulation exceeded its event budget")
-        active = arrived & ~finished
-        pending = ~arrived
-        next_arrival = float(arrivals[pending].min()) if pending.any() else np.inf
-
-        if not active.any():
-            # idle until the next arrival
-            now = next_arrival
-            newly = pending & (arrivals <= now * (1 + _REL_EPS))
-            arrived |= newly
-            continue
-
+    def allocate(now, active, seq_left, par_left):
         procs, cache = _allocate(
-            workload, platform, active, seq_left, par_left, policy, fcfs_order,
-            rng,
+            workload, platform, active, seq_left, par_left, policy,
+            fcfs_order, rng,
         )
-        factors = access_cost_factor(workload, platform, cache)
+        return procs, access_cost_factor(workload, platform, cache)
 
-        # progress rates and per-app time-to-next-phase-boundary
-        in_seq = active & (seq_left > 0)
-        in_par = active & (seq_left <= 0)
-        rate = np.zeros(n)
-        # The sequential phase runs at one-processor speed (Eq. 2's
-        # convention) but only for applications actually holding
-        # processors; a queued app (0 processors under fcfs) stalls.
-        held = procs > 0
-        rate[in_seq & held] = 1.0 / factors[in_seq & held]
-        rate[in_par] = procs[in_par] / factors[in_par]
-        # fcfs gives 0 processors to queued apps: they simply wait
-        waiting = active & (rate <= 0)
-        remaining = np.where(in_seq, seq_left, par_left)
-        dt_finish = np.full(n, np.inf)
-        running = active & ~waiting
-        dt_finish[running] = remaining[running] / rate[running]
-        dt = min(float(dt_finish.min()), next_arrival - now)
-        dt = max(dt, 0.0)
-        now += dt
-
-        # advance
-        progress = rate * dt
-        seq_left = np.where(in_seq, np.maximum(seq_left - progress, 0.0), seq_left)
-        par_left = np.where(in_par, np.maximum(par_left - progress, 0.0), par_left)
-        for i in np.flatnonzero(active):
-            tol = _REL_EPS * workload.work[i]
-            if seq_left[i] <= tol:
-                seq_left[i] = 0.0
-            if seq_left[i] == 0.0 and par_left[i] <= tol:
-                par_left[i] = 0.0
-                finished[i] = True
-                finish[i] = now
-        newly = pending & (arrivals <= now * (1 + _REL_EPS) + 1e-300)
-        arrived |= newly
+    result = run_phase_kernel(
+        workload.work,
+        workload.seq * workload.work,
+        (1.0 - workload.seq) * workload.work,
+        allocate=allocate,
+        arrivals=arrivals,
+        max_events=max_events,
+        budget_message="online simulation exceeded its event budget",
+    )
 
     return OnlineResult(
         arrival_times=arrivals.copy(),
-        finish_times=finish,
-        events=events,
+        finish_times=result.finish_times,
+        events=result.events,
         policy=policy,
     )

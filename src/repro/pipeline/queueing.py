@@ -14,6 +14,12 @@ supposed to avoid).  This module simulates that queue:
 * the simulation reports throughput, drops, queue depth, and latency
   (arrival -> completion).
 
+The event bookkeeping is the shared kernel's single-server queue
+process (:func:`repro.simulate.kernel.run_queue_kernel`), so boundary
+decisions — has a queued batch started by this arrival instant? —
+follow the same canonical abs+rel tolerance as every other simulation
+clock in the repository.
+
 Use :func:`jittered_arrivals` / per-batch makespans from any source
 (e.g. re-running a scheduler over randomly drawn batch workloads).
 """
@@ -24,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..simulate.kernel import run_queue_kernel
 from ..types import ModelError
 
 __all__ = ["PipelineStats", "simulate_batch_queue", "jittered_arrivals"]
@@ -130,31 +137,12 @@ def simulate_batch_queue(
     if buffer_capacity is not None and buffer_capacity < 0:
         raise ModelError("buffer_capacity must be >= 0")
 
-    admitted_starts: list[float] = []   # service start of each admitted batch
-    admitted_finishes: list[float] = []
-    latencies: list[float] = []
-    dropped = 0
-    max_depth = 0
-    server_free_at = 0.0
-
-    for arr, svc in zip(arrivals, service):
-        # queue depth at this arrival: admitted batches not yet started
-        depth = sum(1 for s in admitted_starts if s > arr)
-        max_depth = max(max_depth, depth)
-        if buffer_capacity is not None and depth >= buffer_capacity and server_free_at > arr:
-            dropped += 1
-            continue
-        start = max(arr, server_free_at)
-        finish = start + svc
-        admitted_starts.append(start)
-        admitted_finishes.append(finish)
-        latencies.append(finish - arr)
-        server_free_at = finish
-
+    result = run_queue_kernel(arrivals, service,
+                              buffer_capacity=buffer_capacity)
     return PipelineStats(
-        completed=len(admitted_finishes),
-        dropped=dropped,
-        latencies=np.asarray(latencies),
-        max_queue_depth=max_depth,
-        makespan=float(admitted_finishes[-1]) if admitted_finishes else 0.0,
+        completed=int(result.finishes.size),
+        dropped=result.dropped,
+        latencies=result.latencies,
+        max_queue_depth=result.max_depth,
+        makespan=float(result.finishes[-1]) if result.finishes.size else 0.0,
     )

@@ -1,11 +1,34 @@
-"""Discrete-event co-execution engine and model validation."""
+"""Discrete-event co-execution engine and model validation.
+
+The shared clock — canonical boundary tolerance, typed event log, and
+the phase/queue kernels every simulator adapts — lives in
+:mod:`repro.simulate.kernel`.
+"""
 
 from .engine import SimulationResult, simulate_schedule
+from .kernel import (
+    ABS_TOL,
+    REL_TOL,
+    Event,
+    EventLog,
+    at_or_before,
+    boundary_tol,
+    run_phase_kernel,
+    run_queue_kernel,
+)
 from .validation import ValidationReport, validate_schedule, work_conserving_gain
 
 __all__ = [
     "SimulationResult",
     "simulate_schedule",
+    "ABS_TOL",
+    "REL_TOL",
+    "Event",
+    "EventLog",
+    "at_or_before",
+    "boundary_tol",
+    "run_phase_kernel",
+    "run_queue_kernel",
     "ValidationReport",
     "validate_schedule",
     "work_conserving_gain",

@@ -6,6 +6,11 @@ one-processor speed, then parallel phase at ``p_i``-processor speed,
 per Amdahl), progressing through simulated time until completion.  The
 per-operation cost is the Eq. 2 access factor of its cache fraction.
 
+The clock itself lives in :mod:`repro.simulate.kernel` — this module
+is a thin adapter: it turns the schedule into the kernel's allocation
+hook (a fixed allocation for the paper's static policy, a mutating one
+for work-conserving redistribution) and repackages the kernel result.
+
 With the default static policy the simulated finish times must equal
 the analytical ``Exe_i(p_i, x_i)`` — the validation the test suite and
 :mod:`repro.simulate.validation` perform.  The engine also supports a
@@ -25,10 +30,9 @@ import numpy as np
 from ..core.execution import access_cost_factor
 from ..core.schedule import Schedule
 from ..types import ModelError
+from .kernel import run_phase_kernel
 
 __all__ = ["SimulationResult", "simulate_schedule"]
-
-_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -45,10 +49,16 @@ class SimulationResult:
         Chronological ``(time, kind, app_index)`` log, where kind is
         ``"seq-done"`` or ``"done"``.
     peak_processors : float
-        Maximum simultaneous processor usage observed (static policy:
-        the schedule's total allocation).
+        Maximum simultaneous processor usage observed, tracked from
+        the actual in-use totals over time (see ``processor_usage``).
     policy : str
         ``"static"`` or ``"work-conserving"``.
+    processor_usage : list[tuple[float, float]]
+        ``(time, processors in use)`` samples, one per event; each
+        total holds until the next sample.  Non-increasing under the
+        static policy (usage drops as applications finish); constant
+        at the schedule's total under work-conserving redistribution
+        until the last application finishes.
     """
 
     finish_times: np.ndarray
@@ -56,6 +66,8 @@ class SimulationResult:
     events: list[tuple[float, str, int]] = field(repr=False)
     peak_processors: float
     policy: str
+    processor_usage: list[tuple[float, float]] = field(
+        default_factory=list, repr=False)
 
 
 def simulate_schedule(
@@ -63,7 +75,7 @@ def simulate_schedule(
     *,
     policy: Literal["static", "work-conserving"] = "static",
 ) -> SimulationResult:
-    """Run *schedule* through the event engine.
+    """Run *schedule* through the event kernel.
 
     Parameters
     ----------
@@ -89,62 +101,39 @@ def simulate_schedule(
     wl = schedule.workload
     n = wl.n
     factor = access_cost_factor(wl, schedule.platform, schedule.cache)
-
-    seq_left = wl.seq * wl.work          # operations in phase 1
-    par_left = (1.0 - wl.seq) * wl.work  # operations in phase 2
     procs = schedule.procs.astype(np.float64).copy()
-    in_seq = seq_left > 0.0
-    running = np.ones(n, dtype=bool)
-    # Applications with no parallel work and no sequential work cannot
-    # exist (work > 0), so everyone starts running.
 
-    finish = np.zeros(n)
-    events: list[tuple[float, str, int]] = []
-    now = 0.0
-    peak = float(procs.sum())
+    def allocate(now, active, seq_left, par_left):
+        # Static: the fixed schedule allocation.  Work-conserving: the
+        # same array, mutated by `on_complete` as applications finish.
+        return procs, factor
 
-    for _ in range(2 * n + 1):  # each iteration retires >= 1 phase
-        if not running.any():
-            break
-        # Current progress rate (operations per time unit) per app.
-        rate = np.where(in_seq, 1.0 / factor, procs / factor)
-        remaining = np.where(in_seq, seq_left, par_left)
-        dt = np.where(running, remaining / np.maximum(rate, _EPS), np.inf)
-        step = float(dt[running].min())
-        now += step
-        # Advance everyone by `step`.
-        progressed = rate * step
-        seq_progress = np.where(running & in_seq, progressed, 0.0)
-        par_progress = np.where(running & ~in_seq, progressed, 0.0)
-        seq_left = np.maximum(seq_left - seq_progress, 0.0)
-        par_left = np.maximum(par_left - par_progress, 0.0)
+    on_complete = None
+    if policy == "work-conserving":
+        def on_complete(i, now, alive):
+            freed = procs[i]
+            procs[i] = 0.0
+            share = procs[alive]
+            total = float(share.sum())
+            if total > 0:
+                procs[alive] += freed * share / total
 
-        # Phase transitions (tolerate fp residue).
-        for i in np.flatnonzero(running):
-            if in_seq[i] and seq_left[i] <= _EPS * wl.work[i]:
-                seq_left[i] = 0.0
-                in_seq[i] = False
-                events.append((now, "seq-done", int(i)))
-            if not in_seq[i] and par_left[i] <= _EPS * wl.work[i]:
-                par_left[i] = 0.0
-                if running[i]:
-                    running[i] = False
-                    finish[i] = now
-                    events.append((now, "done", int(i)))
-                    if policy == "work-conserving" and running.any():
-                        freed = procs[i]
-                        procs[i] = 0.0
-                        share = procs[running]
-                        total = float(share.sum())
-                        if total > 0:
-                            procs[running] += freed * share / total
-    else:  # pragma: no cover - loop bound is a safety net
-        raise ModelError("simulation failed to converge (phase loop exhausted)")
+    result = run_phase_kernel(
+        wl.work,
+        wl.seq * wl.work,
+        (1.0 - wl.seq) * wl.work,
+        allocate=allocate,
+        on_complete=on_complete,
+        # Each event retires at least one phase; more means divergence.
+        max_events=2 * n + 1,
+        budget_message="simulation failed to converge (phase loop exhausted)",
+    )
 
     return SimulationResult(
-        finish_times=finish,
-        makespan=float(finish.max()),
-        events=events,
-        peak_processors=peak,
+        finish_times=result.finish_times,
+        makespan=float(result.finish_times.max()),
+        events=result.log.as_tuples("seq-done", "done"),
+        peak_processors=max(used for _, used in result.usage),
         policy=policy,
+        processor_usage=result.usage,
     )

@@ -10,6 +10,15 @@ from repro.machine import small_llc, taihulight
 from repro.workloads import npb6, npb_synth, random_workload
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "kernel_equivalence: golden old-vs-new engine comparisons proving "
+        "the kernel refactor is bit-identical on seeded sweeps "
+        "(run alone with -m kernel_equivalence)",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

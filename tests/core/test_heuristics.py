@@ -144,3 +144,61 @@ class TestDominantSchedule:
         thresholds = d ** (1 / pf.alpha)
         allocated = sched.cache > 0
         assert np.all(sched.cache[allocated] > thresholds[allocated])
+
+
+class TestSharedEvictionCore:
+    """`evict_until_dominant` is the one Algorithm-1 eviction loop,
+    shared by the offline heuristics and the online remaining-work
+    repartitioning."""
+
+    def test_dominant_partition_delegates(self, pf, rng):
+        from repro.core.dominance import dominance_ratios
+        from repro.core.heuristics import evict_until_dominant
+
+        wl = npb_synth(12, rng)
+        weights = cache_weights(wl, pf)
+        ratios = dominance_ratios(wl, pf)
+        direct = evict_until_dominant(weights, ratios, weights > 0.0,
+                                      "minratio")
+        assert np.array_equal(direct, dominant_partition(wl, pf, "minratio"))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_online_agrees_on_full_remaining_work(self, pf, seed):
+        """With every application's remaining work equal to its total
+        work, the online eviction reduces to Algorithm 1 with MinRatio:
+        the supports coincide and the fractions are Theorem 3's."""
+        from repro.core.dominance import optimal_cache_fractions
+        from repro.online.engine import _dominant_fractions_remaining
+
+        rng = np.random.default_rng(seed)
+        wl = npb_synth(10, rng)
+        active = np.ones(10, dtype=bool)
+        x_online = _dominant_fractions_remaining(wl, pf, active, wl.work)
+        mask_offline = dominant_partition(wl, pf, "minratio")
+        assert np.array_equal(x_online > 0, mask_offline)
+        if mask_offline.any():
+            x_offline = optimal_cache_fractions(wl, pf, mask_offline)
+            assert np.allclose(x_online, x_offline, rtol=1e-12, atol=0)
+
+    def test_input_mask_not_mutated(self, pf, rng):
+        from repro.core.dominance import dominance_ratios
+        from repro.core.heuristics import evict_until_dominant
+
+        wl = npb_synth(8, rng)
+        weights = cache_weights(wl, pf)
+        ratios = dominance_ratios(wl, pf)
+        mask = weights > 0.0
+        before = mask.copy()
+        evict_until_dominant(weights, ratios, mask, "minratio")
+        assert np.array_equal(mask, before)
+
+    def test_remaining_work_override_shrinks_weights(self, pf, rng):
+        """cache_weights(work=...) is the remaining-work weight the
+        online engine uses: scaling work down scales weights down."""
+        wl = npb_synth(6, rng)
+        full = cache_weights(wl, pf)
+        half = cache_weights(wl, pf, work=wl.work * 0.5)
+        nz = full > 0
+        assert np.all(half[nz] < full[nz])
+        assert np.allclose(half[nz] / full[nz],
+                           0.5 ** (1.0 / (pf.alpha + 1.0)))

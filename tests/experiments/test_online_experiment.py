@@ -1,0 +1,132 @@
+"""Tests for online experiments riding the offline grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_online_experiment, run_experiment
+from repro.experiments.cache import spec_fingerprint
+from repro.types import ModelError
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return build_online_experiment(
+        arrivals="poisson:rate=5e-9",
+        policies=("dominant", "fair", "fcfs"),
+        napps_points=(4, 6),
+        reps=2,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(exp):
+    return run_experiment(exp, use_cache=False)
+
+
+class TestBuildOnlineExperiment:
+    def test_bad_spec_fails_fast(self):
+        with pytest.raises(ModelError):
+            build_online_experiment(arrivals="storm:heavy")
+
+    def test_declares_online_metrics(self, exp):
+        assert set(exp.metrics) == {"makespan", "mean_flow", "max_flow"}
+        assert exp.evaluate is not None
+
+
+class TestRunOnlineExperiment:
+    def test_records_all_cells(self, result):
+        for policy in ("dominant", "fair", "fcfs"):
+            for metric in ("makespan", "mean_flow", "max_flow"):
+                arr = result.data[policy][metric]
+                assert arr.shape == (2, 2)
+                assert np.all(arr > 0)
+
+    def test_fcfs_never_beats_dominant_makespan(self, result):
+        assert np.all(result.data["dominant"]["makespan"]
+                      <= result.data["fcfs"]["makespan"] * (1 + 1e-9))
+
+    def test_backends_bit_identical(self, exp):
+        serial = run_experiment(exp, backend="serial", use_cache=False)
+        process = run_experiment(exp, backend="process", workers=2,
+                                 use_cache=False)
+        for policy in exp.schedulers:
+            for metric in exp.metrics:
+                assert np.array_equal(serial.data[policy][metric],
+                                      process.data[policy][metric]), (
+                    policy, metric)
+
+    def test_cache_roundtrip(self, exp, tmp_path):
+        a = run_experiment(exp, cache_dir=tmp_path)
+        hits = []
+        b = run_experiment(exp, cache_dir=tmp_path,
+                           progress=hits.append)
+        assert any("cache hit" in msg for msg in hits)
+        for policy in exp.schedulers:
+            for metric in exp.metrics:
+                assert np.array_equal(a.data[policy][metric],
+                                      b.data[policy][metric])
+
+    def test_fingerprint_tracks_registered_policy_code(self):
+        """Regression: an evaluate-based experiment naming a registry
+        scheduler must invalidate its cache entries when that
+        scheduler's implementation changes."""
+        from repro.core import get_scheduler
+        from repro.core.registry import _REGISTRY, register
+
+        def impl_a(workload, platform, rng=None):
+            return get_scheduler("fair")(workload, platform, rng)
+
+        def impl_b(workload, platform, rng=None):  # different bytecode
+            x = 0  # noqa: F841
+            return get_scheduler("fair")(workload, platform, rng)
+
+        name = "_fp_probe_scheduler"
+        try:
+            register(name, impl_a, description="probe")
+            exp = build_online_experiment(policies=(name,),
+                                          napps_points=(4,), reps=1)
+            fp_a = spec_fingerprint(exp)
+            register(name, impl_b, description="probe", overwrite=True)
+            fp_b = spec_fingerprint(exp)
+        finally:
+            _REGISTRY.pop(name, None)
+        assert fp_a != fp_b
+
+    def test_fingerprint_allows_builtin_policy_labels(self, exp):
+        """Builtin online policies are not registry entries; the
+        fingerprint must not choke on them."""
+        assert spec_fingerprint(exp)  # policies include dominant/fair/fcfs
+
+    def test_fingerprint_distinguishes_arrival_specs(self):
+        a = build_online_experiment(arrivals="poisson:rate=5e-9",
+                                    napps_points=(4,), reps=1)
+        b = build_online_experiment(arrivals="poisson:rate=1e-8",
+                                    napps_points=(4,), reps=1)
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+    def test_shared_scenario_stream_across_policies(self):
+        """The arrival stream is a per-cell *scenario* stream: adding
+        or removing policies does not perturb it, so a deterministic
+        policy's grid is identical whatever it runs alongside."""
+        solo = build_online_experiment(
+            arrivals="poisson:rate=5e-9", policies=("fair",),
+            napps_points=(4,), reps=2, seed=42)
+        paired = build_online_experiment(
+            arrivals="poisson:rate=5e-9", policies=("dominant", "fair"),
+            napps_points=(4,), reps=2, seed=42)
+        res_solo = run_experiment(solo, use_cache=False)
+        res_paired = run_experiment(paired, use_cache=False)
+        assert np.array_equal(res_solo.data["fair"]["makespan"],
+                              res_paired.data["fair"]["makespan"])
+
+
+class TestEvaluatorContract:
+    def test_missing_metric_key_raises(self):
+        exp = build_online_experiment(napps_points=(4,), reps=1,
+                                      policies=("fair",))
+        exp.metrics["extra"] = None
+        with pytest.raises(ModelError, match="extra"):
+            run_experiment(exp, use_cache=False)

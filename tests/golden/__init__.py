@@ -1,0 +1,1 @@
+"""Golden old-vs-new engine equivalence suite (kernel refactor)."""

@@ -1,0 +1,112 @@
+"""Golden old-vs-new equivalence: the kernel refactor changes nothing.
+
+Every test here is marked ``kernel_equivalence`` (CI runs the marker as
+its own job) and asserts **bit-identical** results — ``==`` on floats,
+not ``approx`` — between the verbatim pre-kernel reference loops in
+:mod:`tests.golden.legacy_engines` and the kernel-backed engines, over
+seeded sweeps of workloads, schedules, arrival patterns, and queues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import get_scheduler
+from repro.machine import taihulight
+from repro.online import simulate_online
+from repro.pipeline import jittered_arrivals, simulate_batch_queue
+from repro.simulate import simulate_schedule
+from repro.workloads import npb_synth, random_workload
+
+from .legacy_engines import (
+    legacy_simulate_batch_queue,
+    legacy_simulate_online,
+    legacy_simulate_schedule,
+)
+
+pytestmark = pytest.mark.kernel_equivalence
+
+SEEDS = range(5)
+OFFLINE_SCHEDULERS = ("dominant-minratio", "dominantrev-maxratio", "fair",
+                      "0cache", "speedup-aware")
+ONLINE_POLICIES = ("dominant", "fair", "fcfs", "dominant-minratio")
+
+
+def _workload(seed: int, n: int = 8):
+    rng = np.random.default_rng(seed)
+    return (npb_synth if seed % 2 else random_workload)(n, rng)
+
+
+@pytest.fixture(scope="module")
+def pf():
+    return taihulight()
+
+
+class TestOfflineEngine:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", OFFLINE_SCHEDULERS)
+    @pytest.mark.parametrize("policy", ["static", "work-conserving"])
+    def test_bit_identical(self, pf, seed, name, policy):
+        wl = _workload(seed)
+        s = get_scheduler(name)(wl, pf, np.random.default_rng(1))
+        finish, events, peak = legacy_simulate_schedule(s, policy=policy)
+        res = simulate_schedule(s, policy=policy)
+        assert np.array_equal(finish, res.finish_times)
+        assert events == res.events
+        assert peak == res.peak_processors
+        assert float(finish.max()) == res.makespan
+
+
+class TestOnlineEngine:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("pattern", ["zeros", "stagger", "waves", "shift"])
+    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    def test_bit_identical(self, pf, seed, pattern, policy):
+        wl = _workload(seed)
+        horizon = get_scheduler("dominant-minratio")(wl, pf, None).makespan()
+        arrivals = {
+            "zeros": np.zeros(8),
+            "stagger": np.sort(
+                np.random.default_rng(seed + 10).uniform(0, horizon, 8)),
+            "waves": np.array([0.0] * 4 + [horizon / 2] * 4),
+            "shift": np.full(8, horizon),
+        }[pattern]
+        finish, events = legacy_simulate_online(
+            wl, pf, arrivals, policy=policy, rng=np.random.default_rng(7))
+        res = simulate_online(
+            wl, pf, arrivals, policy=policy, rng=np.random.default_rng(7))
+        assert np.array_equal(finish, res.finish_times)
+        assert events == res.events
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bit_identical_randomized_policy(self, pf, seed):
+        """Same rng stream -> the randomized registry policy replays."""
+        wl = _workload(seed)
+        arrivals = np.zeros(8)
+        finish, events = legacy_simulate_online(
+            wl, pf, arrivals, policy="randompart",
+            rng=np.random.default_rng(seed))
+        res = simulate_online(wl, pf, arrivals, policy="randompart",
+                              rng=np.random.default_rng(seed))
+        assert np.array_equal(finish, res.finish_times)
+        assert events == res.events
+
+
+class TestBatchQueue:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("capacity", [None, 0, 2, 5])
+    def test_bit_identical(self, seed, capacity):
+        rng = np.random.default_rng(seed + 20)
+        arrivals = jittered_arrivals(60, 10.0, rng, jitter=0.3)
+        service = rng.uniform(4.0, 16.0, 60)
+        completed, dropped, latencies, depth, makespan = (
+            legacy_simulate_batch_queue(arrivals, service,
+                                        buffer_capacity=capacity))
+        stats = simulate_batch_queue(arrivals, service,
+                                     buffer_capacity=capacity)
+        assert completed == stats.completed
+        assert dropped == stats.dropped
+        assert np.array_equal(latencies, stats.latencies)
+        assert depth == stats.max_queue_depth
+        assert makespan == stats.makespan

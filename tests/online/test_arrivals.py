@@ -1,0 +1,165 @@
+"""Tests for the arrival-source module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import taihulight
+from repro.online import simulate_online
+from repro.online.arrivals import (
+    BatchSource,
+    ConstantRate,
+    PoissonProcess,
+    TraceSource,
+    parse_arrival_spec,
+)
+from repro.types import ModelError
+from repro.workloads import npb_synth
+
+
+class TestBatchSource:
+    def test_default_is_time_zero(self, rng):
+        assert np.array_equal(BatchSource().times(4, rng), np.zeros(4))
+
+    def test_shifted_cohort(self, rng):
+        assert np.array_equal(BatchSource(at=3.5).times(3, rng), np.full(3, 3.5))
+
+    def test_rejects_negative_instant(self):
+        with pytest.raises(ModelError):
+            BatchSource(at=-1.0)
+
+
+class TestConstantRate:
+    def test_evenly_spaced(self, rng):
+        t = ConstantRate(period=10.0, start=5.0).times(4, rng)
+        assert np.array_equal(t, [5.0, 15.0, 25.0, 35.0])
+
+    def test_deterministic_ignores_rng(self):
+        a = ConstantRate(period=2.0).times(5, np.random.default_rng(1))
+        b = ConstantRate(period=2.0).times(5, np.random.default_rng(2))
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ModelError):
+            ConstantRate(period=0.0)
+
+
+class TestPoissonProcess:
+    def test_seeded_stream_reproducible(self):
+        src = PoissonProcess(rate=0.5)
+        a = src.times(50, np.random.default_rng(9))
+        b = src.times(50, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+        assert np.array_equal(np.sort(a), a)
+        assert np.all(a > 0)
+
+    def test_homogeneous_mean_gap(self):
+        """Inter-arrival mean ~ 1/rate (law of large numbers)."""
+        src = PoissonProcess(rate=2.0)
+        t = src.times(4000, np.random.default_rng(3))
+        gaps = np.diff(t)
+        assert np.mean(gaps) == pytest.approx(0.5, rel=0.1)
+
+    def test_thinning_slows_the_stream(self):
+        """An inhomogeneous process (peak rate R) is sparser than the
+        homogeneous process at rate R: thinning only removes points."""
+        n = 2000
+        homo = PoissonProcess(rate=1.0).times(n, np.random.default_rng(4))
+        inhomo = PoissonProcess(rate=1.0, burst=0.9, period=50.0).times(
+            n, np.random.default_rng(4))
+        assert inhomo[-1] > homo[-1]
+
+    def test_intensity_peaks_at_rate(self):
+        src = PoissonProcess(rate=2.0, burst=0.5, period=4.0)
+        # sin peaks at period/4
+        assert src.intensity(1.0) == pytest.approx(2.0)
+        assert src.intensity(3.0) == pytest.approx(2.0 * 0.5 / 1.5)
+
+    def test_bursty_arrivals_cluster(self):
+        """The modulated stream has burstier gaps: higher gap CV than
+        the homogeneous exponential (CV ~ 1)."""
+        rng = np.random.default_rng(11)
+        t = PoissonProcess(rate=1.0, burst=0.95, period=200.0).times(3000, rng)
+        gaps = np.diff(t)
+        cv = np.std(gaps) / np.mean(gaps)
+        assert cv > 1.1
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            PoissonProcess(rate=0.0)
+        with pytest.raises(ModelError):
+            PoissonProcess(rate=1.0, burst=1.0)
+        with pytest.raises(ModelError):
+            PoissonProcess(rate=1.0, burst=0.5)  # inf period
+
+
+class TestTraceSource:
+    def test_replay(self, tmp_path, rng):
+        trace = tmp_path / "arrivals.txt"
+        trace.write_text("# recorded arrivals\n0.0\n1.5\n\n2.5  # third\n9\n")
+        t = TraceSource(trace).times(3, rng)
+        assert np.array_equal(t, [0.0, 1.5, 2.5])
+
+    def test_too_short(self, tmp_path, rng):
+        trace = tmp_path / "short.txt"
+        trace.write_text("1.0\n")
+        with pytest.raises(ModelError, match="holds 1 arrivals; 3 needed"):
+            TraceSource(trace).times(3, rng)
+
+    def test_unsorted_rejected(self, tmp_path, rng):
+        trace = tmp_path / "bad.txt"
+        trace.write_text("2.0\n1.0\n")
+        with pytest.raises(ModelError, match="nondecreasing"):
+            TraceSource(trace).times(2, rng)
+
+    def test_unparseable_line(self, tmp_path, rng):
+        trace = tmp_path / "bad.txt"
+        trace.write_text("1.0\nnope\n")
+        with pytest.raises(ModelError, match="bad.txt:2"):
+            TraceSource(trace).times(2, rng)
+
+    def test_missing_file(self, rng, tmp_path):
+        with pytest.raises(ModelError, match="cannot read"):
+            TraceSource(tmp_path / "absent.txt").times(1, rng)
+
+
+class TestParseArrivalSpec:
+    @pytest.mark.parametrize("spec, kind", [
+        ("batch", BatchSource),
+        ("batch:at=2.5", BatchSource),
+        ("constant:period=10", ConstantRate),
+        ("constant:period=10,start=3", ConstantRate),
+        ("poisson:rate=0.5", PoissonProcess),
+        ("poisson:rate=0.5,burst=0.8,period=100", PoissonProcess),
+        ("trace:/tmp/foo.txt", TraceSource),
+    ])
+    def test_kinds(self, spec, kind):
+        assert isinstance(parse_arrival_spec(spec), kind)
+
+    def test_fields_land(self):
+        src = parse_arrival_spec("poisson:rate=0.25,burst=0.5,period=40")
+        assert (src.rate, src.burst, src.period) == (0.25, 0.5, 40.0)
+
+    @pytest.mark.parametrize("spec", [
+        "rain", "constant", "constant:period=", "poisson",
+        "poisson:rate=fast", "poisson:rate=1,shape=2", "trace", "trace:",
+    ])
+    def test_rejected(self, spec):
+        with pytest.raises(ModelError):
+            parse_arrival_spec(spec)
+
+
+class TestEndToEnd:
+    def test_poisson_stream_through_engine(self, rng):
+        """A generated stream drives the online engine end to end,
+        reproducibly."""
+        wl = npb_synth(6, rng)
+        pf = taihulight()
+        src = parse_arrival_spec("poisson:rate=5e-9")
+        arr = src.times(6, np.random.default_rng(0))
+        a = simulate_online(wl, pf, arr, policy="fair")
+        b = simulate_online(wl, pf, src.times(6, np.random.default_rng(0)),
+                            policy="fair")
+        assert np.array_equal(a.finish_times, b.finish_times)
+        assert np.all(a.finish_times > a.arrival_times)

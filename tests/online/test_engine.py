@@ -5,11 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import get_scheduler
+from repro.core import Application, Workload, get_entry, get_scheduler, scheduler_names
 from repro.machine import taihulight
 from repro.online import simulate_online
+from repro.simulate import simulate_schedule
 from repro.types import ModelError
-from repro.workloads import npb_synth
+from repro.workloads import npb_synth, random_workload
 
 
 @pytest.fixture
@@ -146,6 +147,106 @@ class TestStaggeredArrivals:
             simulate_online(wl, pf, np.zeros(3))
         with pytest.raises(ModelError):
             simulate_online(wl, pf, -np.ones(10))
+
+
+class TestArrivalAdmission:
+    """The kernel's combined abs+rel admission tolerance.
+
+    The historical check was relative-only (``arrivals <= now * (1 +
+    eps)``): it admitted nothing early at ``now == 0`` except by the
+    accident of a ``+ 1e-300`` term, and drifted at large ``now``.
+    """
+
+    def test_arrival_coinciding_with_completion(self, pf):
+        """Regression: an arrival at *exactly* a completion instant is
+        admitted at that event, not stranded until a later one."""
+        wl = Workload([
+            Application(name="a", work=1e9, access_freq=0.5, miss_rate=0.01),
+            Application(name="b", work=2e9, access_freq=0.8, miss_rate=0.005),
+        ])
+        solo = simulate_online(wl[:1], pf, np.zeros(1), policy="fair")
+        t_done = float(solo.finish_times[0])
+        res = simulate_online(wl, pf, np.array([0.0, t_done]), policy="fair")
+        # app 0's run is undisturbed...
+        assert res.finish_times[0] == pytest.approx(t_done, rel=1e-12)
+        # ...and app 1 starts the moment app 0 completes: its flow time
+        # equals its solo whole-machine time, with no idle gap.
+        solo_b = simulate_online(wl[1:], pf, np.zeros(1), policy="fair")
+        assert res.finish_times[1] - t_done == pytest.approx(
+            float(solo_b.finish_times[0]), rel=1e-9)
+        # the coinciding arrival is admitted inside the completion
+        # event itself: admit-a, run-a (admits b at a's completion),
+        # run-b — no fourth event for a separate arrival segment
+        assert res.events == 3
+
+    def test_admission_at_time_zero_has_absolute_floor(self, pf, rng):
+        """An arrival within the absolute tolerance of t=0 joins the
+        t=0 cohort (the relative-only check degenerated here)."""
+        wl = npb_synth(2, rng)
+        res = simulate_online(wl, pf, np.array([0.0, 1e-13]), policy="fair")
+        base = simulate_online(wl, pf, np.zeros(2), policy="fair")
+        assert np.allclose(res.finish_times, base.finish_times, rtol=1e-9)
+        assert res.events == base.events
+
+    def test_late_arrival_not_over_admitted(self, pf, rng):
+        """An arrival clearly beyond the tolerance window of the first
+        completion is not admitted early: it still starts at its own
+        arrival instant."""
+        wl = npb_synth(2, rng)
+        solo = simulate_online(wl[:1], pf, np.zeros(1), policy="dominant")
+        t_done = float(solo.finish_times[0])
+        late = t_done * (1 + 1e-6)
+        res = simulate_online(wl, pf, np.array([0.0, late]), policy="dominant")
+        assert res.finish_times[1] > late
+
+
+class TestOfflineEquivalenceProperty:
+    """All arrivals at t=0: the online loop against the offline model."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_registered_concurrent_scheduler(self, pf, seed):
+        """Property sweep: online-at-zero never finishes any app later
+        than the static offline schedule (re-solving the shrinking
+        instance only helps), and equal-finish strategies reproduce
+        the offline finish times themselves."""
+        rng = np.random.default_rng(seed)
+        wl = (npb_synth if seed % 2 else random_workload)(6, rng)
+        zeros = np.zeros(6)
+        checked = 0
+        for name in scheduler_names():
+            entry = get_entry(name)
+            schedule = entry(wl, pf, np.random.default_rng(seed))
+            if not schedule.concurrent or entry.randomized:
+                continue
+            off = simulate_schedule(schedule).finish_times
+            on = simulate_online(wl, pf, zeros, policy=name).finish_times
+            assert np.all(on <= off * (1 + 1e-9)), name
+            times = schedule.times()
+            if np.ptp(times) <= 1e-9 * times.max():  # equal-finish
+                assert np.allclose(on, off, rtol=1e-3), name
+            checked += 1
+        assert checked >= 8  # the sweep actually covered the registry
+
+    def test_fair_policy_zero_frequency_workload(self, pf):
+        """No application accesses memory: the fair cache split falls
+        back to 1/n and the run completes (regression for the
+        zero-total-frequency branch)."""
+        wl = Workload([
+            Application(name=f"cpu{i}", work=(i + 1) * 1e9, access_freq=0.0,
+                        miss_rate=0.0)
+            for i in range(4)
+        ])
+        res = simulate_online(wl, pf, np.zeros(4), policy="fair")
+        assert np.all(res.finish_times > 0)
+        # freq 0 means factor 1; fair re-splits p over the survivors at
+        # each completion, so the finishes cascade in work order
+        expected = []
+        t = prev = 0.0
+        for k, w in enumerate(np.sort(wl.work)):
+            t += (w - prev) / (pf.p / (4 - k))
+            prev = w
+            expected.append(t)
+        assert np.allclose(res.finish_times, expected, rtol=1e-9)
 
 
 class TestRegistryPolicies:

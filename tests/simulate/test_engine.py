@@ -53,6 +53,27 @@ class TestStaticPolicy:
         res = simulate_schedule(s)
         assert res.peak_processors == pytest.approx(s.procs.sum())
 
+    def test_usage_tracked_and_non_increasing_under_static(self, synth16, pf):
+        """Regression: peak_processors is derived from the actual
+        usage timeline, not frozen at the initial sum.  Under the
+        static policy usage can only drop as applications finish."""
+        s = get_scheduler("fair")(synth16, pf, None)  # staggered finishes
+        res = simulate_schedule(s, policy="static")
+        usage = [used for _, used in res.processor_usage]
+        assert usage, "usage timeline must not be empty"
+        assert all(a >= b - 1e-9 for a, b in zip(usage, usage[1:]))
+        assert res.peak_processors == pytest.approx(usage[0])
+        assert res.peak_processors == pytest.approx(float(s.procs.sum()))
+        # fair's finishes are staggered, so usage really does drop
+        assert usage[-1] < usage[0]
+
+    def test_usage_timeline_ordered(self, synth16, pf):
+        s = get_scheduler("fair")(synth16, pf, None)
+        res = simulate_schedule(s)
+        times = [t for t, _ in res.processor_usage]
+        assert times == sorted(times)
+        assert times[0] == 0.0
+
     def test_unknown_policy(self, synth16, pf):
         s = get_scheduler("0cache")(synth16, pf, None)
         with pytest.raises(ModelError):
@@ -116,3 +137,12 @@ class TestWorkConserving:
         s = get_scheduler("fair")(synth16, pf, None)
         wc = simulate_schedule(s, policy="work-conserving")
         assert wc.peak_processors <= float(s.procs.sum()) * (1 + 1e-9)
+
+    def test_usage_constant_until_last_finish(self, synth16, pf):
+        """Work-conserving redistribution keeps the in-use total at
+        the schedule's sum until the final completion."""
+        s = get_scheduler("fair")(synth16, pf, None)
+        wc = simulate_schedule(s, policy="work-conserving")
+        total = float(s.procs.sum())
+        for _, used in wc.processor_usage:
+            assert used == pytest.approx(total, rel=1e-9)

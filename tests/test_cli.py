@@ -211,3 +211,46 @@ class TestCommands:
         )
         assert main(["figure", "fig3", "--reps", "1", "--normalize", "0cache"]) == 0
         assert "normalized by 0cache" in capsys.readouterr().out
+
+
+class TestOnlineCommand:
+    def test_online_args(self):
+        args = build_parser().parse_args(
+            ["online", "--napps", "8", "--policy", "fair",
+             "--arrivals", "poisson:rate=5e-9", "--seed", "3"])
+        assert args.napps == 8 and args.policy == "fair"
+        assert args.arrivals == "poisson:rate=5e-9" and args.seed == 3
+
+    def test_online_batch_default(self, capsys):
+        assert main(["online", "--napps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "mean flow" in out and "events" in out
+
+    def test_online_poisson_reproducible(self, capsys):
+        """The acceptance scenario: a seeded Poisson arrival stream
+        runs end to end and replays bit-identically from --seed."""
+        argv = ["online", "--napps", "6", "--policy", "dominant",
+                "--arrivals", "poisson:rate=5e-9,burst=0.5,period=1e9",
+                "--seed", "11"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert main(argv[:-1] + ["12"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_online_trace_replay(self, tmp_path, capsys):
+        trace = tmp_path / "arrivals.txt"
+        trace.write_text("0\n1e8\n2e8\n3e8\n")
+        assert main(["online", "--napps", "4",
+                     "--arrivals", f"trace:{trace}"]) == 0
+        out = capsys.readouterr().out
+        assert "3e+08" in out or "3.0000e+08" in out
+
+    def test_online_bad_spec_errors(self):
+        import pytest as _pytest
+
+        from repro.types import ModelError
+
+        with _pytest.raises(ModelError):
+            main(["online", "--napps", "4", "--arrivals", "storm:heavy"])
