@@ -14,12 +14,22 @@ CSV.  The experiment engine's knobs apply too: ``REPRO_BACKEND=process``
 regenerates on a fork pool (bit-identical results), and with
 ``REPRO_CACHE_DIR`` set, a re-run of any figure is a content-addressed
 cache hit that skips the scheduling work entirely.
+
+This module also holds the helpers behind the committed perf
+trajectory (``BENCH_pr6.json`` at the repo root, written by
+``benchmarks/bench_trajectory.py`` and gated by
+``benchmarks/check_trajectory.py``): a machine fingerprint, the git
+revision, and the canonical record writer.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform as _platform
+import subprocess
 import sys
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.experiments import build_figure, resolve_backend, resolve_cache_dir, run_experiment
@@ -29,6 +39,64 @@ from repro.viz import plot_result
 
 BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "5"))
 CSV_DIR = os.environ.get("REPRO_BENCH_CSV_DIR")
+
+#: Repository root (benchmarks/ lives directly under it).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Version tag of the trajectory record format.
+TRAJECTORY_FORMAT = 1
+
+
+def machine_fingerprint() -> dict:
+    """Where a trajectory record was measured.
+
+    Absolute wall times are only comparable on the same fingerprint;
+    the regression gate therefore compares machine-independent
+    *ratios* (``speedup_vs_scalar``) and treats the absolute numbers
+    as provenance.
+    """
+    import numpy as np
+
+    return {
+        "platform": _platform.platform(),
+        "machine": _platform.machine(),
+        "processor": _platform.processor() or _platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "python": _platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def git_revision() -> str:
+    """The current commit SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def write_trajectory(path, benches: dict, *, reps: int) -> dict:
+    """Write the canonical trajectory record and return it.
+
+    *benches* maps bench name to its measurement dict (wall seconds,
+    throughput, and any bench-specific ratios).
+    """
+    record = {
+        "format": TRAJECTORY_FORMAT,
+        "pr": "pr6",
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": git_revision(),
+        "reps": reps,
+        "machine": machine_fingerprint(),
+        "benches": benches,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"[trajectory] wrote {path}", file=sys.stderr)
+    return record
 
 
 def run_and_report(figure_id: str, benchmark, *, reps: int | None = None,
@@ -53,8 +121,12 @@ def run_and_report(figure_id: str, benchmark, *, reps: int | None = None,
         try:
             logx = "Applications" in result.xlabel and result.x.min() > 0
             print(plot_result(result, normalize_by=norm, logx=logx, height=14))
-        except Exception:
-            pass  # plotting is best-effort; the table is the record
+        except Exception as exc:
+            # Plotting is best-effort (the table above is the record),
+            # but a failure must be visible, not silently swallowed.
+            print(f"[plot] skipped ASCII rendering of {figure_id} "
+                  f"({norm or 'raw'}): {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
     if CSV_DIR:
         out = Path(CSV_DIR)
         out.mkdir(parents=True, exist_ok=True)

@@ -1,11 +1,18 @@
 """Scheduler runtime: the paper reports "< 10 seconds in the worst
 setting"; our vectorized implementation handles n = 256 in
-milliseconds.  Timed with pytest-benchmark's full statistics."""
+milliseconds.  Timed with pytest-benchmark's full statistics.
+
+The batch-vs-scalar case measures the structure-of-arrays batch path
+(:func:`repro.core.schedule_batch`) against one scalar call per
+instance on the trajectory workload (256 Fig.-1 instances, 16 apps
+each), printing instances/s at batch sizes 1, 16, and 256."""
+
+from time import perf_counter
 
 import numpy as np
 import pytest
 
-from repro.core import get_scheduler
+from repro.core import get_scheduler, schedule_batch
 from repro.machine import taihulight
 from repro.workloads import npb_synth
 
@@ -23,3 +30,37 @@ def test_scheduler_speed_n256(benchmark, big_instance, name):
     rng = np.random.default_rng(1)
     schedule = benchmark(lambda: scheduler(wl, pf, rng))
     assert schedule.makespan() > 0
+
+
+@pytest.fixture(scope="module")
+def instance_pool():
+    pf = taihulight()
+    return [(npb_synth(16, np.random.default_rng(seed)), pf)
+            for seed in range(256)]
+
+
+def test_scheduler_batch_vs_scalar(benchmark, instance_pool):
+    """The batch path must beat one-scalar-call-per-instance at b=256."""
+    entry = get_scheduler("dominant-minratio")
+
+    t0 = perf_counter()
+    for wl, pf in instance_pool:
+        entry(wl, pf, None)
+    scalar_rate = len(instance_pool) / (perf_counter() - t0)
+    print(f"\n  scalar      {scalar_rate:10.0f} instances/s")
+
+    rates = {}
+    for size in (1, 16, 256):
+        t0 = perf_counter()
+        for start in range(0, len(instance_pool), size):
+            schedule_batch("dominant-minratio",
+                           instance_pool[start:start + size])
+        rates[size] = len(instance_pool) / (perf_counter() - t0)
+        print(f"  batch b={size:<4d}{rates[size]:10.0f} instances/s  "
+              f"({rates[size] / scalar_rate:.2f}x vs scalar)")
+
+    schedules = benchmark(lambda: schedule_batch("dominant-minratio",
+                                                 instance_pool))
+    assert len(schedules) == len(instance_pool)
+    assert all(s.makespan() > 0 for s in schedules)
+    assert rates[256] > scalar_rate

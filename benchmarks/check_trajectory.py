@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Validate and gate the committed perf trajectory (BENCH_pr6.json).
+
+Two modes, both stdlib-only::
+
+    # schema-validate one record (the committed one, typically)
+    python benchmarks/check_trajectory.py validate BENCH_pr6.json
+
+    # gate a fresh record against the committed baseline
+    python benchmarks/check_trajectory.py gate BENCH_pr6.json fresh.json \
+        [--tolerance 0.25]
+
+The gate compares only the machine-independent ``speedup_vs_scalar``
+ratios (absolute wall times are provenance tied to the record's
+machine fingerprint): a bench whose fresh ratio falls more than
+``tolerance`` below the committed ratio fails the build.  Ratios
+*above* the baseline never fail — improvements land by committing a
+regenerated record.  Committed ratios below ``--min-speedup``
+(default 1.5) are tracked but not gated: a ratio near parity (the
+batch-size-1 bench, committed deliberately to show the per-call
+overhead) measures interpreter noise, and a relative gate on it is a
+coin flip.
+
+The schema checker implements the subset of JSON Schema the committed
+``trajectory_schema.json`` uses (type, required, properties,
+additionalProperties-as-schema, const, minimum, exclusiveMinimum), so
+CI needs no third-party validator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "trajectory_schema.json"
+
+_TYPES = {
+    "object": dict,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "array": list,
+}
+
+
+def _check(value, schema: dict, path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        pytype = _TYPES[expected]
+        ok = isinstance(value, pytype)
+        if expected in ("number", "integer") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+            return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected constant {schema['const']!r}, got {value!r}")
+    if "minimum" in schema and value < schema["minimum"]:
+        errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    if "exclusiveMinimum" in schema and value <= schema["exclusiveMinimum"]:
+        errors.append(f"{path}: {value} not above {schema['exclusiveMinimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                _check(sub, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                _check(sub, extra, f"{path}.{key}", errors)
+
+
+def validate_record(record: dict) -> list[str]:
+    """Schema errors in *record* (empty list = valid)."""
+    schema = json.loads(SCHEMA_PATH.read_text())
+    errors: list[str] = []
+    _check(record, schema, "$", errors)
+    return errors
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+
+
+def cmd_validate(args) -> int:
+    record = _load(args.record)
+    errors = validate_record(record)
+    if errors:
+        for err in errors:
+            print(f"SCHEMA  {err}", file=sys.stderr)
+        return 1
+    print(f"{args.record}: schema OK "
+          f"({len(record['benches'])} benches, git {record['git_sha'][:12]})")
+    return 0
+
+
+def cmd_gate(args) -> int:
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    failures = []
+    for name, base in sorted(baseline["benches"].items()):
+        ratio = base.get("speedup_vs_scalar")
+        if ratio is None:
+            continue  # absolute-only bench: provenance, not gated
+        bench = fresh["benches"].get(name)
+        if bench is None or "speedup_vs_scalar" not in bench:
+            failures.append(f"{name}: missing from the fresh record")
+            continue
+        got = bench["speedup_vs_scalar"]
+        if ratio < args.min_speedup:
+            print(f"  {name:28s} baseline {ratio:6.2f}x  fresh {got:6.2f}x  "
+                  f"(below {args.min_speedup:.1f}x: tracked, not gated)")
+            continue
+        floor = ratio * (1.0 - args.tolerance)
+        status = "ok" if got >= floor else "REGRESSION"
+        print(f"  {name:28s} baseline {ratio:6.2f}x  fresh {got:6.2f}x  "
+              f"floor {floor:6.2f}x  {status}")
+        if got < floor:
+            failures.append(
+                f"{name}: speedup {got:.2f}x fell more than "
+                f"{args.tolerance:.0%} below the committed {ratio:.2f}x")
+    if failures:
+        for failure in failures:
+            print(f"GATE  {failure}", file=sys.stderr)
+        return 1
+    print("perf trajectory gate: OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_validate = sub.add_parser("validate", help="schema-check one record")
+    p_validate.add_argument("record", type=Path)
+    p_validate.set_defaults(fn=cmd_validate)
+    p_gate = sub.add_parser("gate", help="compare fresh ratios to a baseline")
+    p_gate.add_argument("baseline", type=Path)
+    p_gate.add_argument("fresh", type=Path)
+    p_gate.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop in speedup_vs_scalar "
+                             "(default 0.25)")
+    p_gate.add_argument("--min-speedup", type=float, default=1.5,
+                        help="committed ratios below this are tracked but "
+                             "not gated (default 1.5)")
+    p_gate.set_defaults(fn=cmd_gate)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

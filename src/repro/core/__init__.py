@@ -10,15 +10,31 @@ Public surface:
 * Dominance theory (:mod:`repro.core.dominance`) and the processor
   allocators (:mod:`repro.core.processor_allocation`).
 * The six heuristics, four baselines, and the name registry.
+* The structure-of-arrays batch API (:mod:`repro.core.batch`):
+  :class:`BatchProblem` / :class:`BatchSchedule`, the ``*_batch``
+  twins of the scalar kernels, and :func:`schedule_batch`.
 """
 
 from .application import BASELINE_CACHE_BYTES, Application, Workload
 from .baselines import all_proc_cache, fair, random_partition, zero_cache
+from .batch import (
+    BatchProblem,
+    BatchSchedule,
+    access_cost_factor_batch,
+    equal_finish_allocation_batch,
+    equal_finish_makespan_batch,
+    execution_times_batch,
+    miss_rates_batch,
+    sequential_times_batch,
+)
 from .dominance import (
     cache_weights,
+    cache_weights_batch,
     dominance_ratios,
+    dominance_ratios_batch,
     is_dominant,
     optimal_cache_fractions,
+    optimal_cache_fractions_batch,
     violating_applications,
 )
 from .execution import (
@@ -32,8 +48,11 @@ from .execution import (
 from .heuristics import (
     DOMINANT_HEURISTICS,
     dominant_partition,
+    dominant_partition_batch,
     dominant_rev_partition,
+    dominant_rev_partition_batch,
     dominant_schedule,
+    dominant_schedule_batch,
 )
 from .platform import Platform
 from .powerlaw import (
@@ -46,6 +65,7 @@ from .powerlaw import (
 from .processor_allocation import (
     build_equal_finish_schedule,
     equal_finish_allocation,
+    equal_finish_batch,
     equal_finish_makespan,
     lemma2_processor_allocation,
     perfectly_parallel_makespan,
@@ -59,6 +79,7 @@ from .registry import (
     get_scheduler,
     is_randomized,
     register,
+    schedule_batch,
     scheduler_names,
 )
 from .schedule import BaseSchedule, Schedule, SequentialSchedule
@@ -109,4 +130,20 @@ __all__ = [
     "is_randomized",
     "PAPER_HEURISTICS",
     "PAPER_BASELINES",
+    "BatchProblem",
+    "BatchSchedule",
+    "miss_rates_batch",
+    "access_cost_factor_batch",
+    "sequential_times_batch",
+    "execution_times_batch",
+    "cache_weights_batch",
+    "dominance_ratios_batch",
+    "optimal_cache_fractions_batch",
+    "equal_finish_batch",
+    "equal_finish_allocation_batch",
+    "equal_finish_makespan_batch",
+    "dominant_partition_batch",
+    "dominant_rev_partition_batch",
+    "dominant_schedule_batch",
+    "schedule_batch",
 ]

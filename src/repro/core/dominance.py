@@ -19,25 +19,67 @@ improved by evicting an offending application.
 
 This module provides the vectorized building blocks shared by the six
 greedy heuristics, the exact solver, and the baselines.
+
+Batch variants
+--------------
+Every building block has a ``*_batch`` twin operating on a
+:class:`~repro.core.batch.BatchProblem` — structure-of-arrays over
+``n_instances x max_apps`` with a prefix validity mask — so one NumPy
+call prices a whole batch of independent problem instances.  The
+scalar and batch paths are **bit-identical**: both compute subset
+totals with :func:`masked_total`, a strict left-to-right summation
+that is invariant to trailing padding (NumPy's pairwise ``sum`` is
+not, so sharing it is what makes a padded row reproduce the compressed
+scalar arrays float for float).
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..types import ModelError
 from .application import Workload
 from .platform import Platform
+from .powerlaw import pow_rowwise
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (batch imports us)
+    from .batch import BatchProblem
 
 __all__ = [
+    "masked_total",
+    "masked_totals",
     "cache_weights",
+    "cache_weights_batch",
     "dominance_ratios",
+    "dominance_ratios_batch",
     "is_dominant",
     "violating_applications",
     "optimal_cache_fractions",
+    "optimal_cache_fractions_batch",
     "cache_fractions_for_subset",
     "bounded_optimal_cache_fractions",
 ]
+
+
+def masked_total(values: np.ndarray, mask: np.ndarray) -> float:
+    """Strict left-to-right total of ``values[mask]``.
+
+    The one summation discipline shared by the scalar and batch
+    dominance paths.  A left-to-right accumulation is invariant to
+    interleaved (and trailing-padding) zeros — ``x + 0.0 == x`` exactly
+    — whereas NumPy's pairwise ``sum`` reassociates differently for a
+    compressed length-``k`` array than for a padded length-``N`` row.
+    Using this helper everywhere is what makes
+    ``evict_until_dominant_batch`` bit-identical to the scalar loop.
+    """
+    return float(np.add.accumulate(np.where(mask, values, 0.0))[-1])
+
+
+def masked_totals(values: np.ndarray, masks: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`masked_total` over ``(B, N)`` arrays."""
+    return np.add.accumulate(np.where(masks, values, 0.0), axis=1)[:, -1]
 
 
 def cache_weights(workload: Workload, platform: Platform, *,
@@ -95,7 +137,7 @@ def is_dominant(workload: Workload, platform: Platform, subset) -> bool:
         return True
     weights = cache_weights(workload, platform)
     ratios = dominance_ratios(workload, platform)
-    total = float(weights[mask].sum())
+    total = masked_total(weights, mask)
     return bool(np.all(ratios[mask] > total))
 
 
@@ -110,7 +152,7 @@ def violating_applications(workload: Workload, platform: Platform, subset) -> np
         return np.array([], dtype=np.intp)
     weights = cache_weights(workload, platform)
     ratios = dominance_ratios(workload, platform)
-    total = float(weights[mask].sum())
+    total = masked_total(weights, mask)
     bad = mask & (ratios <= total)
     return np.flatnonzero(bad)
 
@@ -128,13 +170,62 @@ def optimal_cache_fractions(workload: Workload, platform: Platform, subset) -> n
     if not mask.any():
         return x
     weights = cache_weights(workload, platform)
-    total = float(weights[mask].sum())
+    total = masked_total(weights, mask)
     if total <= 0.0:
         raise ModelError(
             "cannot partition cache: every selected application has zero weight "
             "(w*f*d == 0)"
         )
     x[mask] = weights[mask] / total
+    return x
+
+
+def cache_weights_batch(problem: "BatchProblem", *, work=None) -> np.ndarray:
+    """Batched :func:`cache_weights`: ``(B, N)`` weights, zero in padding.
+
+    *work* optionally overrides the per-cell total operations (same
+    shape as the batch), mirroring the scalar override used by the
+    online engine.
+    """
+    d = problem.miss_coefficients()
+    w = problem.work if work is None else np.asarray(work, dtype=np.float64)
+    base = w * problem.freq * d
+    return pow_rowwise(base, 1.0 / (problem.alpha + 1.0))
+
+
+def dominance_ratios_batch(problem: "BatchProblem", *, work=None) -> np.ndarray:
+    """Batched :func:`dominance_ratios`: ``(B, N)`` Definition-4 ratios."""
+    d = problem.miss_coefficients()
+    weights = cache_weights_batch(problem, work=work)
+    thresholds = pow_rowwise(d, 1.0 / problem.alpha)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = weights / thresholds
+    ratios = np.where(thresholds == 0.0, np.inf, ratios)
+    return ratios
+
+
+def optimal_cache_fractions_batch(
+    problem: "BatchProblem", masks: np.ndarray, *, weights=None
+) -> np.ndarray:
+    """Batched Theorem-3 fractions for per-row boolean *masks*.
+
+    Rows with an empty mask get all-zero fractions (the scalar
+    convention).  Pass precomputed *weights* to skip recomputing them.
+    Raises when some nonempty row selects only zero-weight
+    applications, like the scalar function does.
+    """
+    masks = np.asarray(masks, dtype=bool)
+    if weights is None:
+        weights = cache_weights_batch(problem)
+    totals = masked_totals(weights, masks)
+    bad = masks.any(axis=1) & (totals <= 0.0)
+    if bad.any():
+        raise ModelError(
+            "cannot partition cache: every selected application has zero "
+            f"weight (w*f*d == 0) in batch rows {np.flatnonzero(bad).tolist()}"
+        )
+    with np.errstate(invalid="ignore", divide="ignore"):
+        x = np.where(masks, weights / totals[:, None], 0.0)
     return x
 
 

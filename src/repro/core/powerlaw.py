@@ -25,7 +25,30 @@ __all__ = [
     "effective_cache",
     "useful_fraction_bounds",
     "cache_for_target_miss_rate",
+    "pow_rowwise",
 ]
+
+
+def pow_rowwise(base: np.ndarray, exponents: np.ndarray) -> np.ndarray:
+    """``base ** exponents[:, None]``, bit-identical per row to the
+    scalar expression ``row ** float(exponent)``.
+
+    NumPy special-cases a *Python-float scalar* exponent in
+    ``ndarray.__pow__`` (e.g. ``x ** 2.0`` becomes ``square``,
+    ``x ** 0.5`` becomes ``sqrt``) — fast paths a broadcast exponent
+    *array* never takes, and whose results can differ from the generic
+    ``pow`` ufunc in the last ulp.  The batch modules therefore raise
+    to per-row powers through this helper: one vectorized ``**`` with a
+    genuine Python-float exponent per *distinct* exponent value, which
+    reproduces whatever fast path the scalar code hit.  Batches usually
+    share one platform ``alpha``, so this is one pass in practice.
+    """
+    exponents = np.asarray(exponents, dtype=np.float64)
+    out = np.empty_like(base, dtype=np.float64)
+    for e in np.unique(exponents):
+        rows = exponents == e
+        out[rows] = base[rows] ** float(e)
+    return out
 
 
 def miss_rate(m0, c0, cache, alpha):

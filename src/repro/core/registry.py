@@ -28,12 +28,14 @@ import numpy as np
 from ..types import ModelError
 from .application import Workload
 from .baselines import all_proc_cache, fair, random_partition, zero_cache
-from .heuristics import DOMINANT_HEURISTICS, dominant_schedule
+from .batch import BatchProblem
+from .heuristics import DOMINANT_HEURISTICS, dominant_schedule, dominant_schedule_batch
 from .platform import Platform
 from .schedule import BaseSchedule
 
 __all__ = [
     "SchedulerFn",
+    "BatchSchedulerFn",
     "SchedulerEntry",
     "register",
     "get_scheduler",
@@ -41,11 +43,17 @@ __all__ = [
     "entries",
     "scheduler_names",
     "is_randomized",
+    "schedule_batch",
     "PAPER_HEURISTICS",
     "PAPER_BASELINES",
 ]
 
 SchedulerFn = Callable[[Workload, Platform, Optional[np.random.Generator]], BaseSchedule]
+
+#: batch_fn(instances, rngs) -> one schedule per (workload, platform) pair.
+BatchSchedulerFn = Callable[
+    [list, list], list
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +75,14 @@ class SchedulerEntry:
     provenance : str
         Where the strategy comes from (paper section, extension
         package, user registration).
+    batch_fn : BatchSchedulerFn, optional
+        Vectorized batch evaluator: ``batch_fn(instances, rngs)`` takes
+        a list of (workload, platform) pairs plus a same-length list of
+        per-instance generators (None for deterministic strategies) and
+        returns one schedule per instance, each bit-identical to
+        ``fn(workload, platform, rng)``.  The experiment engine, the
+        service dispatcher, and :func:`schedule_batch` use it when
+        present; strategies without one are evaluated per instance.
     """
 
     name: str
@@ -74,6 +90,7 @@ class SchedulerEntry:
     randomized: bool = False
     description: str = ""
     provenance: str = ""
+    batch_fn: Optional[BatchSchedulerFn] = None
 
     def __call__(
         self,
@@ -95,6 +112,7 @@ PAPER_BASELINES: tuple[str, ...] = ("allproccache", "fair", "0cache", "randompar
 
 def register(name: str, fn: SchedulerFn, *, randomized: bool | None = None,
              description: str | None = None, provenance: str | None = None,
+             batch_fn: BatchSchedulerFn | None = None,
              overwrite: bool = False) -> SchedulerEntry:
     """Register *fn* under *name* (lowercase canonical).
 
@@ -111,6 +129,8 @@ def register(name: str, fn: SchedulerFn, *, randomized: bool | None = None,
         experiment runner averages these over repetitions.
     description, provenance : str, optional
         Metadata recorded on the entry.
+    batch_fn : BatchSchedulerFn, optional
+        Vectorized batch evaluator (see :class:`SchedulerEntry`).
     overwrite : bool
         Allow replacing an existing entry.
 
@@ -133,6 +153,8 @@ def register(name: str, fn: SchedulerFn, *, randomized: bool | None = None,
             updates["description"] = description
         if provenance is not None and provenance != entry.provenance:
             updates["provenance"] = provenance
+        if batch_fn is not None and batch_fn is not entry.batch_fn:
+            updates["batch_fn"] = batch_fn
         if updates:
             entry = replace(entry, **updates)
     else:
@@ -142,6 +164,7 @@ def register(name: str, fn: SchedulerFn, *, randomized: bool | None = None,
             randomized=bool(randomized),
             description=description or "",
             provenance=provenance or "",
+            batch_fn=batch_fn,
         )
     _REGISTRY[key] = entry
     return entry
@@ -194,6 +217,45 @@ def _make_dominant(strategy: str, choice: str) -> SchedulerFn:
     return scheduler
 
 
+def _make_dominant_batch(strategy: str, choice: str) -> BatchSchedulerFn:
+    def batch(instances, rngs=None) -> list[BaseSchedule]:
+        problem = BatchProblem(instances)
+        return dominant_schedule_batch(
+            problem, strategy=strategy, choice=choice, rngs=rngs
+        ).schedules()
+
+    batch.__name__ = f"{strategy}_{choice}_batch_scheduler"
+    return batch
+
+
+def schedule_batch(name: str, instances, rngs=None) -> list[BaseSchedule]:
+    """Schedule many (workload, platform) instances under one strategy.
+
+    Uses the entry's vectorized ``batch_fn`` when it has one (all six
+    paper heuristics do); otherwise falls back to one scalar call per
+    instance.  ``rngs``, when given, must hold one generator (or None)
+    per instance — randomized strategies draw each row's choices from
+    its own stream, exactly as the scalar path would.
+
+    Returns one schedule per instance, in input order, bit-identical to
+    ``get_scheduler(name)(workload, platform, rng)`` per instance.
+    """
+    entry = get_entry(name)
+    instances = list(instances)
+    if rngs is None:
+        rngs = [None] * len(instances)
+    else:
+        rngs = list(rngs)
+        if len(rngs) != len(instances):
+            raise ModelError(
+                f"rngs has {len(rngs)} entries for {len(instances)} instances")
+    if not instances:
+        return []
+    if entry.batch_fn is not None:
+        return entry.batch_fn(instances, rngs)
+    return [entry(wl, pf, rng) for (wl, pf), rng in zip(instances, rngs)]
+
+
 for _name, (_strategy, _choice) in DOMINANT_HEURISTICS.items():
     register(
         _name,
@@ -201,6 +263,7 @@ for _name, (_strategy, _choice) in DOMINANT_HEURISTICS.items():
         randomized=(_choice == "random"),
         description=f"dominant partition, strategy={_strategy}, choice={_choice}",
         provenance="paper §5 (dominant heuristics)",
+        batch_fn=_make_dominant_batch(_strategy, _choice),
     )
 
 register("allproccache", lambda wl, pf, rng=None: all_proc_cache(wl, pf),

@@ -15,6 +15,12 @@ scheduler)`` for randomized schedulers — so every backend produces
 is a pure function of the task record.  That is what makes the grid
 embarrassingly parallel and the results cacheable.
 
+Within each chunk, tasks for schedulers that expose a vectorized
+``batch_fn`` (the six paper heuristics) are evaluated through one
+structure-of-arrays batch call (:mod:`repro.core.batch`) rather than
+one Python call per task; the batch path is bit-identical to the
+scalar path, so this too is a pure optimization.
+
 Backends
 --------
 ``"serial"``
@@ -198,10 +204,22 @@ def _run_batch(exp: "Experiment", batch: Iterable[Task]) -> list[dict[str, float
     Workload instances are memoized per ``(rep, point)`` cell within
     the batch — rebuilding from ``instance_seed`` is deterministic, so
     the memo is a pure optimization.
+
+    Tasks whose scheduler entry carries a vectorized ``batch_fn`` (and
+    whose experiment uses the default schedule-metric evaluation) are
+    collected per scheduler and shipped through one batch call instead
+    of one Python call each.  The batch path is bit-identical to the
+    scalar path by construction (see :mod:`repro.core.batch`) and each
+    task still gets its own generator seeded from ``scheduler_seed``,
+    so results do not depend on grouping.  If a batch call fails, the
+    group falls back to the scalar loop so error messages (and any
+    partial successes) match the serial engine exactly.
     """
+    tasks = list(batch)
     memo: dict[tuple[int, int], tuple] = {}
-    out: list[dict[str, float]] = []
-    for task in batch:
+    out: list[dict[str, float] | None] = [None] * len(tasks)
+    deferred: dict[str, list[tuple[int, object, object, object]]] = {}
+    for idx, task in enumerate(tasks):
         cell = (task.rep, task.point_index)
         if cell not in memo:
             memo[cell] = exp.factory(
@@ -217,12 +235,32 @@ def _run_batch(exp: "Experiment", batch: Iterable[Task]) -> list[dict[str, float
                 raise ModelError(
                     f"evaluator returned no value for metric(s) "
                     f"{sorted(missing)} (declared: {sorted(exp.metrics)})")
-            out.append({metric: sample[metric] for metric in exp.metrics})
+            out[idx] = {metric: sample[metric] for metric in exp.metrics}
             continue
         entry = get_entry(task.scheduler)
+        if entry.batch_fn is not None:
+            deferred.setdefault(task.scheduler, []).append(
+                (idx, workload, platform, task.scheduler_seed))
+            continue
         schedule = entry(workload, platform,
                          np.random.default_rng(task.scheduler_seed))
-        out.append({metric: fn(schedule) for metric, fn in exp.metrics.items()})
+        out[idx] = {metric: fn(schedule) for metric, fn in exp.metrics.items()}
+    for name, group in deferred.items():
+        entry = get_entry(name)
+        schedules = None
+        if len(group) > 1:
+            instances = [(wl, pf) for _, wl, pf, _ in group]
+            rngs = [np.random.default_rng(seed) for _, _, _, seed in group]
+            try:
+                schedules = entry.batch_fn(instances, rngs)
+            except Exception:
+                schedules = None  # scalar loop below reproduces the error
+        if schedules is None:
+            schedules = [entry(wl, pf, np.random.default_rng(seed))
+                         for _, wl, pf, seed in group]
+        for (idx, _, _, _), schedule in zip(group, schedules):
+            out[idx] = {metric: fn(schedule)
+                        for metric, fn in exp.metrics.items()}
     return out
 
 

@@ -40,12 +40,9 @@ __all__ = ["compute_decision", "Dispatcher"]
 _MAX_DEFAULT_WORKERS = 8
 
 
-def compute_decision(request: AllocationRequest) -> AllocationDecision:
-    """Evaluate one request: run the named scheduler, package the answer."""
-    entry = get_entry(request.scheduler)
-    seed = request.effective_seed()
-    rng = np.random.default_rng(seed) if seed is not None else None
-    schedule = entry(request.workload(), request.platform, rng)
+def _decision_from_schedule(request: AllocationRequest, name: str,
+                            schedule) -> AllocationDecision:
+    """Package a computed schedule as the request's decision."""
     times = schedule.times()
     procs = getattr(schedule, "procs", np.full(times.size, request.platform.p))
     cache = getattr(schedule, "cache", np.ones(times.size))
@@ -55,8 +52,21 @@ def compute_decision(request: AllocationRequest) -> AllocationDecision:
         cache=tuple(float(x) for x in cache),
         times=tuple(float(t) for t in times),
         makespan=float(schedule.makespan()),
-        scheduler=entry.name,
+        scheduler=name,
     )
+
+
+def _request_rng(request: AllocationRequest) -> np.random.Generator | None:
+    seed = request.effective_seed()
+    return np.random.default_rng(seed) if seed is not None else None
+
+
+def compute_decision(request: AllocationRequest) -> AllocationDecision:
+    """Evaluate one request: run the named scheduler, package the answer."""
+    entry = get_entry(request.scheduler)
+    schedule = entry(request.workload(), request.platform,
+                     _request_rng(request))
+    return _decision_from_schedule(request, entry.name, schedule)
 
 
 class Dispatcher:
@@ -82,10 +92,15 @@ class Dispatcher:
                  ) -> list[AllocationDecision | Exception]:
         """Evaluate a batch; position *i* answers ``requests[i]``.
 
-        A failing request (unknown scheduler, infeasible model input)
-        yields its exception *in place* rather than poisoning the
-        batch — concurrent callers coalesced onto other slots must
-        still get their answers.
+        Requests naming a scheduler with a vectorized ``batch_fn`` are
+        coalesced into one structure-of-arrays batch call per scheduler
+        (bit-identical to per-request evaluation, each request keeping
+        its own seed-derived generator); the rest go one-per-thread to
+        the pool.  A failing request (unknown scheduler, infeasible
+        model input) yields its exception *in place* rather than
+        poisoning the batch — concurrent callers coalesced onto other
+        slots must still get their answers, so a failing batch call
+        falls back to per-request evaluation of its group.
         """
         def _one(req: AllocationRequest) -> AllocationDecision | Exception:
             try:
@@ -95,7 +110,42 @@ class Dispatcher:
 
         if len(requests) == 1:
             return [_one(requests[0])]
-        return list(self._pool.map(_one, requests))
+
+        out: list[AllocationDecision | Exception | None] = [None] * len(requests)
+        groups: dict[str, list[int]] = {}
+        scalar_idx: list[int] = []
+        for i, req in enumerate(requests):
+            try:
+                entry = get_entry(req.scheduler)
+            except Exception:
+                entry = None
+            if entry is not None and entry.batch_fn is not None:
+                groups.setdefault(entry.name, []).append(i)
+            else:
+                scalar_idx.append(i)
+
+        scalar_results = (
+            self._pool.map(_one, [requests[i] for i in scalar_idx])
+            if scalar_idx else ())
+        for name, idxs in groups.items():
+            if len(idxs) == 1:
+                out[idxs[0]] = _one(requests[idxs[0]])
+                continue
+            entry = get_entry(name)
+            group = [requests[i] for i in idxs]
+            try:
+                schedules = entry.batch_fn(
+                    [(req.workload(), req.platform) for req in group],
+                    [_request_rng(req) for req in group])
+                for i, req, schedule in zip(idxs, group, schedules):
+                    out[i] = _decision_from_schedule(req, entry.name, schedule)
+            except Exception:
+                # Per-request evaluation isolates the failing slot(s).
+                for i, req in zip(idxs, group):
+                    out[i] = _one(req)
+        for i, result in zip(scalar_idx, scalar_results):
+            out[i] = result
+        return out
 
     def close(self) -> None:
         self._pool.shutdown(wait=False)

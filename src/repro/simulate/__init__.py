@@ -5,7 +5,12 @@ the phase/queue kernels every simulator adapts — lives in
 :mod:`repro.simulate.kernel`.
 """
 
-from .engine import SimulationResult, simulate_schedule
+from .engine import (
+    BatchSimulationResult,
+    SimulationResult,
+    simulate_schedule,
+    simulate_schedule_batch,
+)
 from .kernel import (
     ABS_TOL,
     REL_TOL,
@@ -14,6 +19,7 @@ from .kernel import (
     at_or_before,
     boundary_tol,
     run_phase_kernel,
+    run_phase_kernel_batch,
     run_queue_kernel,
 )
 from .validation import ValidationReport, validate_schedule, work_conserving_gain
@@ -21,6 +27,9 @@ from .validation import ValidationReport, validate_schedule, work_conserving_gai
 __all__ = [
     "SimulationResult",
     "simulate_schedule",
+    "BatchSimulationResult",
+    "simulate_schedule_batch",
+    "run_phase_kernel_batch",
     "ABS_TOL",
     "REL_TOL",
     "Event",

@@ -27,12 +27,18 @@ from typing import Literal
 
 import numpy as np
 
+from ..core.batch import BatchSchedule, access_cost_factor_batch
 from ..core.execution import access_cost_factor
 from ..core.schedule import Schedule
 from ..types import ModelError
-from .kernel import run_phase_kernel
+from .kernel import run_phase_kernel, run_phase_kernel_batch
 
-__all__ = ["SimulationResult", "simulate_schedule"]
+__all__ = [
+    "SimulationResult",
+    "simulate_schedule",
+    "BatchSimulationResult",
+    "simulate_schedule_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -136,4 +142,58 @@ def simulate_schedule(
         peak_processors=max(used for _, used in result.usage),
         policy=policy,
         processor_usage=result.usage,
+    )
+
+
+@dataclass(frozen=True)
+class BatchSimulationResult:
+    """Outcome of a batched static co-execution simulation.
+
+    Attributes
+    ----------
+    finish_times : numpy.ndarray
+        Completion instant per cell, shape ``(B, N)``, zeros in
+        padding; row ``i``'s valid prefix is bit-identical to
+        ``simulate_schedule(schedule_i).finish_times``.
+    makespans : numpy.ndarray
+        Per-row makespans, shape ``(B,)``.
+    events : numpy.ndarray
+        Per-row kernel iteration counts, shape ``(B,)``.
+    """
+
+    finish_times: np.ndarray
+    makespans: np.ndarray
+    events: np.ndarray
+
+
+def simulate_schedule_batch(batch: BatchSchedule) -> BatchSimulationResult:
+    """Run a whole :class:`~repro.core.batch.BatchSchedule` through the
+    batched event kernel (static policy).
+
+    One :func:`~repro.simulate.kernel.run_phase_kernel_batch` call
+    advances every instance's two-phase clock in lockstep; per-row
+    results are bit-identical to :func:`simulate_schedule` with the
+    default static policy on the materialized per-row schedule.
+    Work-conserving redistribution needs the scalar engine's
+    ``on_complete`` hook and is deliberately not batched.
+    """
+    problem = batch.problem
+    factors = access_cost_factor_batch(problem, batch.cache)
+    result = run_phase_kernel_batch(
+        problem.work,
+        problem.seq * problem.work,
+        (1.0 - problem.seq) * problem.work,
+        procs=batch.procs,
+        factors=factors,
+        valid=problem.valid,
+        # Each event retires at least one phase; more means divergence.
+        max_events=2 * problem.counts + 1,
+        budget_message="simulation failed to converge (phase loop exhausted)",
+    )
+    makespans = np.where(
+        problem.valid, result.finish_times, -np.inf).max(axis=1)
+    return BatchSimulationResult(
+        finish_times=result.finish_times,
+        makespans=makespans,
+        events=result.events,
     )

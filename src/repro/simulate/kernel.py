@@ -79,6 +79,8 @@ __all__ = [
     "EventLog",
     "PhaseKernelResult",
     "run_phase_kernel",
+    "BatchPhaseKernelResult",
+    "run_phase_kernel_batch",
     "QueueKernelResult",
     "run_queue_kernel",
 ]
@@ -347,6 +349,132 @@ def run_phase_kernel(
         usage=usage,
         now=now,
     )
+
+
+@dataclass(frozen=True)
+class BatchPhaseKernelResult:
+    """Outcome of a :func:`run_phase_kernel_batch` run.
+
+    Attributes
+    ----------
+    finish_times : numpy.ndarray
+        Completion instant per cell, shape ``(B, N)``; zeros in
+        padding.
+    events : numpy.ndarray
+        Kernel iterations each row consumed, shape ``(B,)`` — equal to
+        the scalar kernel's ``events`` for the same instance.
+    now : numpy.ndarray
+        Final per-row clock values, shape ``(B,)``.
+    """
+
+    finish_times: np.ndarray
+    events: np.ndarray
+    now: np.ndarray
+
+
+def run_phase_kernel_batch(
+    work: np.ndarray,
+    seq_work: np.ndarray,
+    par_work: np.ndarray,
+    *,
+    procs: np.ndarray,
+    factors: np.ndarray,
+    valid: np.ndarray | None = None,
+    max_events: int | np.ndarray | None = None,
+    budget_message: str = "simulation exceeded its event budget",
+) -> BatchPhaseKernelResult:
+    """Advance ``B`` static-allocation phase clocks in lockstep.
+
+    The batched twin of :func:`run_phase_kernel` for its hot special
+    case — everyone present from the start (no arrivals) and a fixed
+    allocation (no reallocation or completion hooks): each global
+    iteration advances every still-running row by that row's own next
+    event, exactly as the scalar loop would, so per-row finish times,
+    clocks, and event counts are **bit-identical** to running the
+    scalar kernel row by row (same elementwise rate/progress
+    expressions, per-row minima over the same values, and dt == 0.0
+    no-op advances once a row is done).
+
+    Parameters
+    ----------
+    work, seq_work, par_work : numpy.ndarray
+        ``(B, N)`` padded arrays (see :class:`repro.core.batch.BatchProblem`);
+        *work* sets each cell's phase-boundary tolerance scale.
+    procs, factors : numpy.ndarray
+        Static per-cell processor allocation and Eq. 2 access factors.
+    valid : numpy.ndarray, optional
+        Boolean ``(B, N)`` mask of real cells; padding is treated as
+        finished from the start.  Default: everything valid.
+    max_events : int or numpy.ndarray, optional
+        Per-row event budget (broadcast from a scalar); exceeding it
+        raises :class:`ModelError` with *budget_message*.  Defaults to
+        ``20 * n_row + 10``.
+    """
+    work = np.asarray(work, dtype=np.float64)
+    if work.ndim != 2:
+        raise ModelError(
+            f"batch kernel expects (B, N) arrays, got shape {work.shape}")
+    B, n = work.shape
+    seq_left = np.asarray(seq_work, dtype=np.float64).copy()
+    par_left = np.asarray(par_work, dtype=np.float64).copy()
+    procs = np.asarray(procs, dtype=np.float64)
+    factors = np.asarray(factors, dtype=np.float64)
+    if valid is None:
+        valid = np.ones((B, n), dtype=bool)
+    else:
+        valid = np.asarray(valid, dtype=bool)
+    counts = valid.sum(axis=1)
+    if max_events is None:
+        limits = 20 * counts + 10
+    else:
+        limits = np.broadcast_to(np.asarray(max_events), (B,))
+    tol = ABS_TOL + REL_TOL * np.abs(work)
+
+    finished = ~valid  # padding is done before the clock starts
+    finish = np.zeros((B, n))
+    now = np.zeros(B)
+    events = np.zeros(B, dtype=np.intp)
+
+    while True:
+        live = ~finished.all(axis=1)
+        if not live.any():
+            break
+        events = np.where(live, events + 1, events)
+        if (live & (events > limits)).any():
+            raise ModelError(budget_message)
+        active = valid & ~finished
+
+        # Rates, exactly as the scalar kernel: one-processor speed in
+        # the sequential phase (only while holding processors),
+        # Amdahl-parallel speed after.
+        in_seq = active & (seq_left > 0.0)
+        in_par = active & (seq_left <= 0.0)
+        rate = np.zeros((B, n))
+        sel = in_seq & (procs > 0.0)
+        rate[sel] = 1.0 / factors[sel]
+        rate[in_par] = procs[in_par] / factors[in_par]
+        remaining = np.where(in_seq, seq_left, par_left)
+        running = active & (rate > 0.0)
+        dt_finish = np.full((B, n), np.inf)
+        dt_finish[running] = remaining[running] / rate[running]
+        dt = np.maximum(dt_finish.min(axis=1), 0.0)
+        dt = np.where(live, dt, 0.0)
+        now = now + dt
+
+        # Advance, then apply phase transitions with the canonical
+        # per-cell tolerance.
+        progress = rate * dt[:, None]
+        seq_left = np.where(
+            in_seq, np.maximum(seq_left - progress, 0.0), seq_left)
+        par_left = np.where(
+            in_par, np.maximum(par_left - progress, 0.0), par_left)
+        seq_left = np.where(in_seq & (seq_left <= tol), 0.0, seq_left)
+        done = active & (seq_left == 0.0) & (par_left <= tol)
+        par_left = np.where(done, 0.0, par_left)
+        finish = np.where(done, now[:, None], finish)
+        finished |= done
+
+    return BatchPhaseKernelResult(finish_times=finish, events=events, now=now)
 
 
 @dataclass(frozen=True)

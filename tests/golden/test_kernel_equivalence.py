@@ -54,7 +54,14 @@ class TestOfflineEngine:
         res = simulate_schedule(s, policy=policy)
         assert np.array_equal(finish, res.finish_times)
         assert events == res.events
-        assert peak == res.peak_processors
+        # The legacy loop sampled its "peak" once from the t=0
+        # allocation total and never re-sampled; the kernel samples
+        # usage at every event.  Compare like-for-like via the kernel's
+        # t=0 sample — under work-conserving redistribution the in-use
+        # total can drift a few ulps above the initial sum, so the
+        # max-over-time peak only matches approximately.
+        assert peak == res.processor_usage[0][1]
+        assert res.peak_processors == pytest.approx(peak)
         assert float(finish.max()) == res.makespan
 
 
