@@ -78,15 +78,17 @@ def git_revision() -> str:
     return out.stdout.strip() if out.returncode == 0 else "unknown"
 
 
-def write_trajectory(path, benches: dict, *, reps: int) -> dict:
+def write_trajectory(path, benches: dict, *, reps: int, pr: str = "pr6") -> dict:
     """Write the canonical trajectory record and return it.
 
     *benches* maps bench name to its measurement dict (wall seconds,
-    throughput, and any bench-specific ratios).
+    throughput, and any bench-specific ratios); *pr* tags which PR's
+    bench contract the record satisfies (see
+    ``check_trajectory.REQUIRED_BENCHES``).
     """
     record = {
         "format": TRAJECTORY_FORMAT,
-        "pr": "pr6",
+        "pr": pr,
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "git_sha": git_revision(),
         "reps": reps,

@@ -36,6 +36,29 @@ from pathlib import Path
 
 SCHEMA_PATH = Path(__file__).resolve().parent / "trajectory_schema.json"
 
+#: Bench names every record of a given PR must carry.  The schema file
+#: stays PR-agnostic; this table is the per-PR contract (a record with
+#: an unknown ``pr`` tag only has to satisfy the schema).
+REQUIRED_BENCHES = {
+    "pr6": (
+        "scheduler_scalar_b256",
+        "scheduler_batch_b1",
+        "scheduler_batch_b16",
+        "scheduler_batch_b256",
+        "eviction_scan_n256",
+        "phase_kernel_batch_b256",
+    ),
+    "pr7": (
+        "serve_warm_knee",
+        "cache_single_8t",
+        "cache_sharded_8t",
+    ),
+}
+
+#: pr7 records must chart the saturation curve: at least this many
+#: offered-load points, each reporting a numeric p99.
+MIN_LOADGEN_POINTS = 3
+
 _TYPES = {
     "object": dict,
     "string": str,
@@ -80,6 +103,23 @@ def validate_record(record: dict) -> list[str]:
     schema = json.loads(SCHEMA_PATH.read_text())
     errors: list[str] = []
     _check(record, schema, "$", errors)
+    benches = record.get("benches")
+    if not isinstance(benches, dict):
+        return errors
+    for name in REQUIRED_BENCHES.get(record.get("pr"), ()):
+        if name not in benches:
+            errors.append(f"$.benches: missing required bench {name!r} "
+                          f"for {record.get('pr')}")
+    if record.get("pr") == "pr7":
+        loadgen = [n for n in benches if n.startswith("loadgen_")]
+        if len(loadgen) < MIN_LOADGEN_POINTS:
+            errors.append(
+                f"$.benches: pr7 needs >= {MIN_LOADGEN_POINTS} loadgen_* "
+                f"offered-load points, found {len(loadgen)}")
+        for name in loadgen:
+            p99 = benches[name].get("p99_ms") if isinstance(benches[name], dict) else None
+            if not isinstance(p99, (int, float)) or isinstance(p99, bool):
+                errors.append(f"$.benches.{name}: missing numeric p99_ms")
     return errors
 
 

@@ -135,7 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-wait-ms", type=float, default=2.0,
                      help="linger time filling a batch before dispatch")
     srv.add_argument("--workers", type=int, default=None,
-                     help="dispatch pool size (default: $REPRO_WORKERS, capped)")
+                     help="dispatch pool size; with --async, the number of "
+                          "pre-forked server processes "
+                          "(default: $REPRO_WORKERS, capped)")
+    srv.add_argument("--async", dest="use_async", action="store_true",
+                     help="serve from an asyncio event loop instead of a "
+                          "thread per request")
+    srv.add_argument("--cache-shards", type=int, default=8,
+                     help="decision-cache shard count (1 = single-lock LRU)")
+    srv.add_argument("--max-queue-depth", type=int, default=None,
+                     help="batcher backpressure limit; beyond this many "
+                          "queued requests the service answers 503 + "
+                          "Retry-After (default: unbounded)")
 
     req = sub.add_parser("request",
                          help="send one allocation request to a running service")
@@ -364,16 +375,36 @@ def _cmd_list(_args) -> int:
 
 def _cmd_serve(args) -> int:
     from .service import DecisionService
+
+    announce = lambda msg: print(msg, file=sys.stderr, flush=True)
+    if args.use_async:
+        # --workers means server processes here; each forked worker
+        # builds its own service (and its own default dispatch pool).
+        from .service.aserver import serve_async
+
+        def factory() -> DecisionService:
+            return DecisionService(
+                cache_capacity=args.cache_capacity,
+                cache_shards=args.cache_shards,
+                max_batch_size=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                max_queue_depth=args.max_queue_depth,
+            )
+
+        serve_async(args.host, args.port, factory,
+                    workers=args.workers or 1, announce=announce)
+        return 0
     from .service.server import serve
 
     service = DecisionService(
         cache_capacity=args.cache_capacity,
+        cache_shards=args.cache_shards,
         max_batch_size=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.max_queue_depth,
         workers=args.workers,
     )
-    serve(args.host, args.port, service,
-          announce=lambda msg: print(msg, file=sys.stderr, flush=True))
+    serve(args.host, args.port, service, announce=announce)
     return 0
 
 

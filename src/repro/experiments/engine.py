@@ -182,6 +182,65 @@ def _chunk(tasks: Sequence[Task], nchunks: int) -> list[list[Task]]:
     return [list(tasks[a:b]) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
 
 
+def _split_indices(indices: Sequence[int], nchunks: int) -> list[list[int]]:
+    """Split an index list into at most *nchunks* contiguous parts."""
+    n = len(indices)
+    nchunks = max(1, min(nchunks, n))
+    bounds = np.linspace(0, n, nchunks + 1).astype(int)
+    return [list(indices[a:b]) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+def _plan_process_chunks(
+    exp: "Experiment", tasks: Sequence[Task], nchunks: int,
+) -> tuple[list[list[Task]], list[int]]:
+    """Scheduler-major chunk plan: ship whole batches to workers.
+
+    The naive contiguous chunking hands each worker a slice of the
+    scheduler-innermost grid, so a chunk's tasks for any one vectorized
+    scheduler form only a sliver of a batch — each worker re-batches
+    its own fragment.  This plan instead groups every batchable
+    scheduler's tasks together and chunks *within* the group, so each
+    worker chunk is one whole structure-of-arrays batch call (plus a
+    shared pool of scalar-only tasks, kept in original order).
+
+    Returns ``(chunks, perm)`` where ``perm[i]`` is the original task
+    index of the i-th result in concatenated chunk order — evaluation
+    is a pure function of the task record, so reordering is invisible
+    once results are permuted back.
+
+    Experiments with a custom ``evaluate`` keep the historical
+    contiguous chunking (that path is scalar and leans on the
+    per-cell factory memo, which contiguity keeps warm).
+    """
+    if exp.evaluate is not None:
+        return _chunk(tasks, nchunks), list(range(len(tasks)))
+    groups: dict[str, list[int]] = {}
+    scalar: list[int] = []
+    for i, task in enumerate(tasks):
+        try:
+            entry = get_entry(task.scheduler)
+        except Exception:
+            # Unknown scheduler: route to the scalar loop, where the
+            # worker raises the same error the serial engine would.
+            scalar.append(i)
+            continue
+        if entry.batch_fn is not None:
+            groups.setdefault(entry.name, []).append(i)
+        else:
+            scalar.append(i)
+    segments = ([scalar] if scalar else []) + [
+        groups[name] for name in sorted(groups)]
+    total = len(tasks)
+    chunks: list[list[Task]] = []
+    perm: list[int] = []
+    for segment in segments:
+        share = max(1, round(nchunks * len(segment) / total))
+        for part in _split_indices(segment, share):
+            chunks.append([tasks[i] for i in part])
+            perm.extend(part)
+    return chunks, perm
+
+
 def _scenario_seed(instance_seed: np.random.SeedSequence) -> np.random.SeedSequence:
     """The per-cell scenario stream, derived without mutating the tree.
 
@@ -299,16 +358,18 @@ def _execute_process(
 ) -> list[dict[str, float]]:
     global _WORKER_EXPERIMENT
     workers = min(workers, len(tasks))
-    # ~4 chunks per worker balances load without drowning in IPC.
-    chunks = _chunk(tasks, workers * 4)
+    # ~4 chunks per worker balances load without drowning in IPC;
+    # chunks are planned scheduler-major so each one ships a whole
+    # structure-of-arrays batch to its worker (see _plan_process_chunks).
+    chunks, perm = _plan_process_chunks(exp, tasks, workers * 4)
     ctx = multiprocessing.get_context("fork")
     _WORKER_EXPERIMENT = exp
     try:
         with ctx.Pool(processes=workers) as pool:
             done = 0
-            results: list[dict[str, float]] = []
+            flat: list[dict[str, float]] = []
             for i, chunk_result in enumerate(pool.imap(_run_batch_worker, chunks)):
-                results.extend(chunk_result)
+                flat.extend(chunk_result)
                 done += len(chunks[i])
                 if progress is not None:
                     progress(
@@ -316,6 +377,10 @@ def _execute_process(
                     )
     finally:
         _WORKER_EXPERIMENT = None
+    # Invert the plan's permutation: result i answers task perm[i].
+    results: list[dict[str, float]] = [None] * len(tasks)  # type: ignore[list-item]
+    for position, original in enumerate(perm):
+        results[original] = flat[position]
     return results
 
 

@@ -29,11 +29,13 @@ Quickstart::
         assert again.cache_hit and again.decision == first.decision
 """
 
-from .batcher import RequestBatcher
-from .cache import CacheStats, DecisionCache
+from .aserver import AsyncServerThread, serve_async
+from .batcher import QueueFullError, RequestBatcher
+from .cache import CacheStats, DecisionCache, ShardedDecisionCache
 from .client import ServiceClient, ServiceError
 from .core import DecisionService
-from .dispatcher import Dispatcher, compute_decision
+from .dispatcher import Dispatcher, RequestError, compute_decision
+from .metrics import Gauge, LatencyHistogram
 from .protocol import (
     AllocationDecision,
     AllocationRequest,
@@ -48,17 +50,24 @@ __all__ = [
     "AllocationDecision",
     "AllocationRequest",
     "AllocationResponse",
+    "AsyncServerThread",
     "CacheStats",
     "DecisionCache",
     "DecisionService",
     "Dispatcher",
+    "Gauge",
+    "LatencyHistogram",
+    "QueueFullError",
     "RequestBatcher",
+    "RequestError",
     "ServiceClient",
     "ServiceError",
+    "ShardedDecisionCache",
     "canonical_json",
     "compute_decision",
     "make_server",
     "parse_platform",
     "request_from_payload",
     "serve",
+    "serve_async",
 ]

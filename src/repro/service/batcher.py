@@ -16,12 +16,19 @@ latency — the knob trades single-request latency for batch
 throughput, exactly like the paper's co-scheduling trades a single
 application's finish time for machine-level efficiency.
 
+Queueing is bounded: with ``max_queue_depth`` set, a submit that finds
+that many requests already waiting raises :class:`QueueFullError`
+(carrying a retry hint) instead of growing the queue without limit —
+the HTTP front ends translate it into ``503`` + ``Retry-After`` so
+overload sheds load at the edge instead of collecting latency debt.
+
 The collector thread is a daemon and additionally wakes on shutdown;
 ``close()`` drains cleanly and cancels what it cannot serve.
 """
 
 from __future__ import annotations
 
+import inspect
 import queue
 import threading
 from concurrent.futures import Future
@@ -32,7 +39,23 @@ from typing import Callable, Sequence
 from ..types import ModelError
 from .protocol import AllocationDecision, AllocationRequest
 
-__all__ = ["RequestBatcher", "BatchItem", "BatcherStats"]
+__all__ = ["RequestBatcher", "BatchItem", "BatcherStats", "QueueFullError"]
+
+
+class QueueFullError(ModelError):
+    """The batcher queue is at ``max_queue_depth`` — shed this request.
+
+    ``retry_after_s`` is the server's backoff hint: roughly the time
+    the batcher needs to drain one dispatch window.
+    """
+
+    def __init__(self, depth: int, max_depth: int, retry_after_s: float):
+        super().__init__(
+            f"batcher queue full ({depth} waiting, limit {max_depth}); "
+            f"retry in {retry_after_s:.3g}s")
+        self.depth = depth
+        self.max_depth = max_depth
+        self.retry_after_s = retry_after_s
 
 #: Sentinel enqueued by close() to wake the collector immediately.
 _SHUTDOWN = object()
@@ -53,16 +76,23 @@ class BatchItem:
 
 
 class BatcherStats:
-    """Lifetime batching counters (snapshot, no lock needed to read)."""
+    """Lifetime batching counters (snapshot, no lock needed to read).
 
-    __slots__ = ("batches", "requests", "coalesced", "max_batch_seen")
+    ``queue_depth`` is the one instantaneous gauge in the set: requests
+    accepted but not yet handed to the dispatcher at snapshot time.
+    """
+
+    __slots__ = ("batches", "requests", "coalesced", "max_batch_seen",
+                 "queue_depth", "rejected")
 
     def __init__(self, batches: int, requests: int, coalesced: int,
-                 max_batch_seen: int):
+                 max_batch_seen: int, queue_depth: int = 0, rejected: int = 0):
         self.batches = batches
         self.requests = requests
         self.coalesced = coalesced
         self.max_batch_seen = max_batch_seen
+        self.queue_depth = queue_depth
+        self.rejected = rejected
 
     @property
     def mean_batch_size(self) -> float:
@@ -75,6 +105,8 @@ class BatcherStats:
             "coalesced": self.coalesced,
             "max_batch_seen": self.max_batch_seen,
             "mean_batch_size": self.mean_batch_size,
+            "queue_depth": self.queue_depth,
+            "rejected": self.rejected,
         }
 
 
@@ -94,6 +126,11 @@ class RequestBatcher:
         window, hoping to fill the batch.  0 disables lingering
         (every request dispatches immediately with whatever else is
         already queued).
+    max_queue_depth : int, optional
+        Backpressure limit: a submit that finds this many requests
+        already accepted-but-undispatched raises
+        :class:`QueueFullError`.  None (the default) keeps the
+        historical unbounded queue.
     """
 
     def __init__(
@@ -103,14 +140,27 @@ class RequestBatcher:
         *,
         max_batch_size: int = 16,
         max_wait_s: float = 0.002,
+        max_queue_depth: int | None = None,
     ):
         if max_batch_size < 1:
             raise ModelError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_wait_s < 0:
             raise ModelError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ModelError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}")
         self.evaluate = evaluate
+        # Evaluators that accept a ``keys`` argument get the request
+        # fingerprints too, so per-request failures can carry them.
+        try:
+            self._evaluate_wants_keys = (
+                "keys" in inspect.signature(evaluate).parameters)
+        except (TypeError, ValueError):  # builtins, odd callables
+            self._evaluate_wants_keys = False
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
+        self.max_queue_depth = (
+            None if max_queue_depth is None else int(max_queue_depth))
         self._queue: "queue.Queue[BatchItem | object]" = queue.Queue()
         self._closed = False
         self._lock = threading.Lock()
@@ -118,6 +168,8 @@ class RequestBatcher:
         self._requests = 0
         self._coalesced = 0
         self._max_batch_seen = 0
+        self._depth = 0
+        self._rejected = 0
         self._collector = threading.Thread(
             target=self._run, name="repro-batcher", daemon=True)
         self._collector.start()
@@ -125,7 +177,11 @@ class RequestBatcher:
     # -- caller side -------------------------------------------------------
     def submit(self, request: AllocationRequest, key: str,
                ) -> "Future[tuple[AllocationDecision, int, bool]]":
-        """Enqueue *request*; returns the future carrying its decision."""
+        """Enqueue *request*; returns the future carrying its decision.
+
+        Raises :class:`QueueFullError` when the backpressure limit is
+        reached and :class:`~repro.types.ModelError` after close().
+        """
         item = BatchItem(request=request, key=key)
         # The closed-check and the put must be atomic against close():
         # otherwise an item can slip in after the collector's final
@@ -133,6 +189,13 @@ class RequestBatcher:
         with self._lock:
             if self._closed:
                 raise ModelError("batcher is closed")
+            if (self.max_queue_depth is not None
+                    and self._depth >= self.max_queue_depth):
+                self._rejected += 1
+                # Hint: one linger window plus a dispatch round.
+                raise QueueFullError(self._depth, self.max_queue_depth,
+                                     retry_after_s=max(0.05, 2 * self.max_wait_s))
+            self._depth += 1
             self._queue.put(item)
         return item.future
 
@@ -182,12 +245,17 @@ class RequestBatcher:
         """Dispatch one batch: dedup by key, evaluate, fan back out."""
         firsts: dict[str, int] = {}
         unique: list[AllocationRequest] = []
+        unique_keys: list[str] = []
         for item in batch:
             if item.key not in firsts:
                 firsts[item.key] = len(unique)
                 unique.append(item.request)
+                unique_keys.append(item.key)
         try:
-            results = self.evaluate(unique)
+            if self._evaluate_wants_keys:
+                results = self.evaluate(unique, keys=unique_keys)
+            else:
+                results = self.evaluate(unique)
             if len(results) != len(unique):  # defensive: broken evaluator
                 raise ModelError(
                     f"evaluator returned {len(results)} results for "
@@ -199,6 +267,7 @@ class RequestBatcher:
             self._requests += len(batch)
             self._coalesced += len(batch) - len(unique)
             self._max_batch_seen = max(self._max_batch_seen, len(batch))
+            self._depth -= len(batch)
         seen: set[str] = set()
         for item in batch:
             result = results[firsts[item.key]]
@@ -213,7 +282,9 @@ class RequestBatcher:
     def stats(self) -> BatcherStats:
         with self._lock:
             return BatcherStats(self._batches, self._requests,
-                                self._coalesced, self._max_batch_seen)
+                                self._coalesced, self._max_batch_seen,
+                                queue_depth=self._depth,
+                                rejected=self._rejected)
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop accepting work, wake the collector, join it."""

@@ -30,11 +30,20 @@ __all__ = ["ServiceClient", "ServiceError"]
 
 
 class ServiceError(ReproError):
-    """A non-2xx answer from the service (carries the HTTP status)."""
+    """A non-2xx answer from the service (carries the HTTP status).
 
-    def __init__(self, status: int, message: str):
+    ``request_id`` is the failing request's fingerprint when the
+    server included one (per-request evaluation failures do);
+    ``retry_after_s`` carries the server's 503 backoff hint.
+    """
+
+    def __init__(self, status: int, message: str,
+                 request_id: str | None = None,
+                 retry_after_s: float | None = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.request_id = request_id
+        self.retry_after_s = retry_after_s
 
 
 class ServiceClient:
@@ -64,11 +73,20 @@ class ServiceClient:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                 return json.loads(resp.read())
         except urllib.error.HTTPError as exc:
+            request_id = None
             try:
-                message = json.loads(exc.read()).get("error", exc.reason)
+                error_payload = json.loads(exc.read())
+                message = error_payload.get("error", exc.reason)
+                request_id = error_payload.get("request_id")
             except Exception:
                 message = str(exc.reason)
-            raise ServiceError(exc.code, message) from None
+            retry_after = exc.headers.get("Retry-After") if exc.headers else None
+            try:
+                retry_after_s = float(retry_after) if retry_after else None
+            except ValueError:
+                retry_after_s = None
+            raise ServiceError(exc.code, message, request_id=request_id,
+                               retry_after_s=retry_after_s) from None
         except urllib.error.URLError as exc:
             raise ReproError(
                 f"cannot reach decision service at {self.base_url}: "

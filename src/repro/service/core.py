@@ -17,14 +17,16 @@ The service also aggregates every layer's counters into one
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from time import perf_counter
 from typing import Mapping
 
 from ..types import ModelError
 from .batcher import RequestBatcher
-from .cache import DecisionCache
+from .cache import DecisionCache, ShardedDecisionCache
 from .dispatcher import Dispatcher
+from .metrics import Gauge, LatencyHistogram
 from .protocol import (
     AllocationDecision,
     AllocationRequest,
@@ -42,11 +44,21 @@ class DecisionService:
     ----------
     cache_capacity : int
         Decision-cache size (entries).
+    cache_shards : int
+        Shard count for the decision cache.  The default (8) uses the
+        fingerprint-sharded :class:`~repro.service.cache.ShardedDecisionCache`;
+        ``1`` selects the original single-lock strict-LRU
+        :class:`~repro.service.cache.DecisionCache`.
     max_batch_size : int
         Largest batch the batcher dispatches at once.
     max_wait_ms : float
         Linger time for filling a batch, in milliseconds (the HTTP
         and CLI layers expose milliseconds; internals use seconds).
+    max_queue_depth : int, optional
+        Batcher backpressure limit — submissions beyond this many
+        queued requests raise
+        :class:`~repro.service.batcher.QueueFullError` (the HTTP
+        layers answer 503 + ``Retry-After``).  None = unbounded.
     workers : int, optional
         Dispatcher pool size (default: engine's worker resolution).
     """
@@ -55,19 +67,27 @@ class DecisionService:
         self,
         *,
         cache_capacity: int = 1024,
+        cache_shards: int = 8,
         max_batch_size: int = 16,
         max_wait_ms: float = 2.0,
+        max_queue_depth: int | None = None,
         workers: int | None = None,
     ):
         if max_wait_ms < 0:
             raise ModelError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
-        self.cache: DecisionCache[AllocationDecision] = DecisionCache(cache_capacity)
+        if cache_shards > 1:
+            self.cache = ShardedDecisionCache(cache_capacity, shards=cache_shards)
+        else:
+            self.cache = DecisionCache(cache_capacity)
         self.dispatcher = Dispatcher(workers=workers)
         self.batcher = RequestBatcher(
             self.dispatcher.evaluate,
             max_batch_size=max_batch_size,
             max_wait_s=max_wait_ms / 1000.0,
+            max_queue_depth=max_queue_depth,
         )
+        self.latency = LatencyHistogram()
+        self.inflight = Gauge()
         self._lock = threading.Lock()
         self._decisions = 0
         self._errors = 0
@@ -77,36 +97,92 @@ class DecisionService:
     def allocate(self, request: AllocationRequest) -> AllocationResponse:
         """Serve one request end to end (blocking)."""
         start = perf_counter()
+        self.inflight.inc()
         try:
-            key = request.fingerprint()
-        except Exception:
-            with self._lock:
-                self._errors += 1
-            raise
-        cached = self.cache.get(key)
-        if cached is not None:
-            return self._respond(key, cached, start,
-                                 cache_hit=True, coalesced=False, batch_size=0)
+            try:
+                key = request.fingerprint()
+            except Exception:
+                with self._lock:
+                    self._errors += 1
+                raise
+            cached = self.cache.get(key)
+            if cached is not None:
+                return self._respond(key, cached, start, cache_hit=True,
+                                     coalesced=False, batch_size=0)
+            try:
+                decision, batch_size, coalesced = self.batcher.submit(
+                    request, key).result()
+            except Exception:
+                with self._lock:
+                    self._errors += 1
+                raise
+            self.cache.put(key, decision)
+            return self._respond(key, decision, start,
+                                 cache_hit=False, coalesced=coalesced,
+                                 batch_size=batch_size)
+        finally:
+            self.inflight.dec()
+
+    async def allocate_async(self, request: AllocationRequest,
+                             ) -> AllocationResponse:
+        """Serve one request from an event loop (the async front end).
+
+        The fingerprint and the cache probe run inline (they are
+        sub-millisecond); only the batcher future is awaited, so the
+        event loop keeps accepting connections while the dispatcher
+        computes.
+        """
+        start = perf_counter()
+        self.inflight.inc()
         try:
-            decision, batch_size, coalesced = self.batcher.submit(
-                request, key).result()
-        except Exception:
-            with self._lock:
-                self._errors += 1
-            raise
-        self.cache.put(key, decision)
-        return self._respond(key, decision, start,
-                             cache_hit=False, coalesced=coalesced,
-                             batch_size=batch_size)
+            try:
+                key = request.fingerprint()
+            except Exception:
+                with self._lock:
+                    self._errors += 1
+                raise
+            cached = self.cache.get(key)
+            if cached is not None:
+                return self._respond(key, cached, start, cache_hit=True,
+                                     coalesced=False, batch_size=0)
+            try:
+                future = self.batcher.submit(request, key)
+                decision, batch_size, coalesced = await asyncio.wrap_future(
+                    future)
+            except Exception:
+                with self._lock:
+                    self._errors += 1
+                raise
+            self.cache.put(key, decision)
+            return self._respond(key, decision, start,
+                                 cache_hit=False, coalesced=coalesced,
+                                 batch_size=batch_size)
+        finally:
+            self.inflight.dec()
 
     def allocate_payload(self, payload: Mapping) -> AllocationResponse:
         """Decode a wire payload and serve it (the HTTP/CLI entry point)."""
         return self.allocate(request_from_payload(payload))
 
+    def note_bytecache_hit(self, latency_s: float) -> None:
+        """Account a decision served by a front end's L0 byte cache.
+
+        The async server short-circuits byte-identical repeat bodies
+        before they are even parsed; the decision still came from
+        memory on this service's behalf, so the aggregate counters
+        (decisions, cache hits, latency) must include it.
+        """
+        self.cache.count_hit()
+        self.latency.observe(latency_s)
+        with self._lock:
+            self._decisions += 1
+            self._latency_total_s += latency_s
+
     def _respond(self, key: str, decision: AllocationDecision, start: float,
                  *, cache_hit: bool, coalesced: bool, batch_size: int,
                  ) -> AllocationResponse:
         latency_s = perf_counter() - start
+        self.latency.observe(latency_s)
         with self._lock:
             self._decisions += 1
             self._latency_total_s += latency_s
@@ -133,11 +209,15 @@ class DecisionService:
                 "decisions.errors": self._errors,
                 "decisions.latency_seconds_total": self._latency_total_s,
             }
+        out["decisions.inflight"] = self.inflight.value
+        for name, value in self.latency.as_dict().items():
+            out[f"latency.{name}"] = value
         for name, value in self.cache.stats().as_dict().items():
             out[f"decision_cache.{name}"] = value
         for name, value in self.batcher.stats().as_dict().items():
             out[f"batcher.{name}"] = value
         out["dispatcher.workers"] = self.dispatcher.workers
+        out["dispatcher.inflight"] = self.dispatcher.inflight.value
         return out
 
     # -- lifecycle ---------------------------------------------------------

@@ -31,13 +31,39 @@ import numpy as np
 
 from ..core.registry import get_entry
 from ..experiments.engine import resolve_workers
+from ..types import ReproError
+from .metrics import Gauge
 from .protocol import AllocationDecision, AllocationRequest
 
-__all__ = ["compute_decision", "Dispatcher"]
+__all__ = ["compute_decision", "Dispatcher", "RequestError"]
 
 #: Cap on the default pool size — decision batches are small and
 #: latency-bound; drowning a small batch in threads helps nothing.
 _MAX_DEFAULT_WORKERS = 8
+
+
+class RequestError(ReproError):
+    """A per-request evaluation failure, tagged with its fingerprint.
+
+    Wraps the underlying :class:`~repro.types.ReproError` so the HTTP
+    layers can put *which* request failed (``request_id``) and on
+    *which* scheduler into the error payload instead of a bare repr.
+    Non-Repro exceptions (genuine bugs) are never wrapped — they must
+    keep surfacing as internal errors (500), not client errors (400).
+    """
+
+    def __init__(self, cause: ReproError, request_id: str, scheduler: str):
+        super().__init__(str(cause))
+        self.__cause__ = cause
+        self.request_id = request_id
+        self.scheduler = scheduler
+
+    def to_payload(self) -> dict:
+        return {
+            "error": str(self),
+            "request_id": self.request_id,
+            "scheduler": self.scheduler,
+        }
 
 
 def _decision_from_schedule(request: AllocationRequest, name: str,
@@ -85,10 +111,12 @@ class Dispatcher:
             if not os.environ.get("REPRO_WORKERS"):
                 workers = min(workers, os.cpu_count() or 1)
         self.workers = resolve_workers(workers)
+        self.inflight = Gauge()
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-dispatch")
 
     def evaluate(self, requests: Sequence[AllocationRequest],
+                 keys: Sequence[str] | None = None,
                  ) -> list[AllocationDecision | Exception]:
         """Evaluate a batch; position *i* answers ``requests[i]``.
 
@@ -101,7 +129,27 @@ class Dispatcher:
         poisoning the batch — concurrent callers coalesced onto other
         slots must still get their answers, so a failing batch call
         falls back to per-request evaluation of its group.
+
+        With ``keys`` (the per-request fingerprints, supplied by the
+        batcher), model failures come back as :class:`RequestError`
+        carrying the failing request's fingerprint and scheduler.
+        Non-Repro exceptions stay unwrapped — those are server bugs.
         """
+        self.inflight.inc(len(requests))
+        try:
+            out = self._evaluate(requests)
+        finally:
+            self.inflight.dec(len(requests))
+        if keys is not None:
+            for i, result in enumerate(out):
+                if (isinstance(result, ReproError)
+                        and not isinstance(result, RequestError)):
+                    out[i] = RequestError(result, keys[i],
+                                          requests[i].scheduler)
+        return out
+
+    def _evaluate(self, requests: Sequence[AllocationRequest],
+                  ) -> list[AllocationDecision | Exception]:
         def _one(req: AllocationRequest) -> AllocationDecision | Exception:
             try:
                 return compute_decision(req)

@@ -161,10 +161,19 @@ class AllocationRequest:
         return payload
 
     def fingerprint(self) -> str:
-        """SHA-256 hex digest of the canonical encoding."""
-        return hashlib.sha256(
-            canonical_json(self.canonical_payload()).encode()
-        ).hexdigest()
+        """SHA-256 hex digest of the canonical encoding (memoized).
+
+        The request is frozen, so the digest is computed once; the
+        serving path asks for it repeatedly (cache key, coalescing
+        key, response id, error payloads).
+        """
+        fp = getattr(self, "_fp", None)
+        if fp is None:
+            fp = hashlib.sha256(
+                canonical_json(self.canonical_payload()).encode()
+            ).hexdigest()
+            object.__setattr__(self, "_fp", fp)
+        return fp
 
 
 @dataclass(frozen=True)

@@ -35,7 +35,9 @@ from typing import Any
 
 from ..core.registry import entries
 from ..types import ReproError
+from .batcher import QueueFullError
 from .core import DecisionService
+from .dispatcher import RequestError
 
 __all__ = ["make_server", "serve", "ServiceHTTPServer"]
 
@@ -48,14 +50,23 @@ def _prometheus_name(key: str) -> str:
     return "repro_" + key.replace(".", "_").replace("-", "_")
 
 
-def render_metrics_text(metrics: dict[str, float]) -> str:
-    """Prometheus text exposition of the service counter mapping."""
+def render_metrics_text(metrics: dict[str, float],
+                        service: DecisionService | None = None) -> str:
+    """Prometheus text exposition of the service counter mapping.
+
+    With *service*, the request-latency histogram is appended as a
+    native Prometheus histogram (``_bucket{le=...}``/``_sum``/
+    ``_count`` series) alongside the gauge-rendered counters.
+    """
     lines = []
     for key in sorted(metrics):
         name = _prometheus_name(key)
         lines.append(f"# TYPE {name} gauge")
         value = float(metrics[key])
         lines.append(f"{name} {value:.10g}")
+    if service is not None:
+        lines.extend(
+            service.latency.prometheus_lines("repro_request_latency_seconds"))
     return "\n".join(lines) + "\n"
 
 
@@ -77,18 +88,22 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt: str, *args: Any) -> None:  # pragma: no cover
         pass  # stay quiet; /metrics is the observability surface
 
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
+    def _send(self, status: int, body: bytes, content_type: str,
+              extra_headers: dict[str, str] | None = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(self, status: int, payload: Any,
+                   extra_headers: dict[str, str] | None = None) -> None:
         self._send(status, json.dumps(payload).encode(),
-                   "application/json; charset=utf-8")
+                   "application/json; charset=utf-8", extra_headers)
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
@@ -108,11 +123,12 @@ class _Handler(BaseHTTPRequestHandler):
             ]
             self._send_json(200, {"schedulers": payload})
         elif path == "/metrics":
-            metrics = self.server.service.metrics()
+            service = self.server.service
+            metrics = service.metrics()
             if "format=json" in query:
                 self._send_json(200, metrics)
             else:
-                self._send(200, render_metrics_text(metrics).encode(),
+                self._send(200, render_metrics_text(metrics, service).encode(),
                            "text/plain; version=0.0.4; charset=utf-8")
         elif path == "/healthz":
             self._send_json(200, {"status": "ok"})
@@ -148,6 +164,13 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             response = self.server.service.allocate_payload(payload)
+        except QueueFullError as exc:
+            self._send_json(503, {"error": str(exc)},
+                            {"Retry-After": f"{exc.retry_after_s:.3f}"})
+            return
+        except RequestError as exc:
+            self._send_json(400, exc.to_payload())
+            return
         except ReproError as exc:
             self._send_error_json(400, str(exc))
             return
