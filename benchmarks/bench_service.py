@@ -1,6 +1,6 @@
-"""Decision-service throughput: cold vs warm vs batched.
+"""Decision-service throughput: cold vs warm vs disk-warm vs batched.
 
-Three serving regimes over the same repeated-request workload
+Four serving regimes over the same repeated-request workload
 (``N_REQUESTS`` distinct allocation questions, ``NAPPS`` applications
 each):
 
@@ -9,6 +9,12 @@ each):
 * **warm** — the identical request stream again: every request is a
   decision-cache hit; no scheduler runs at all.  The acceptance bar
   for the subsystem is warm >= 10x cold throughput, asserted here.
+* **disk-warm** — a *restarted* service (fresh process stand-in: new
+  service, empty memory tier) over a previously-warmed cache
+  directory: every request is served by the persistent disk tier and
+  promoted.  Slower than memory-warm (a file read + JSON decode per
+  first touch) but still far from scheduler compute; the bar is
+  disk-warm >= 5x cold.
 * **batched** — the same *cold* workload, but issued concurrently:
   requests coalesce into batches dispatched across the worker pool,
   which is how the service actually meets traffic.
@@ -40,6 +46,10 @@ RESULTS: dict[str, float] = {}
 
 #: The ISSUE-4 acceptance bar: warm must beat cold by at least this.
 WARM_OVER_COLD = 10.0
+
+#: Cross-restart bar: serving from the disk tier must still dwarf
+#: recomputation (a JSON read is not a scheduler run).
+DISK_WARM_OVER_COLD = 5.0
 
 
 def build_requests() -> list[AllocationRequest]:
@@ -87,12 +97,16 @@ def report() -> None:
     print()
     print(f"decision-service throughput ({N_REQUESTS} requests, "
           f"{NAPPS} apps each):")
-    for mode in ("cold", "warm", "batched"):
+    for mode in ("cold", "warm", "disk-warm", "batched"):
         if mode in RESULTS:
-            print(f"  {mode:<8}{RESULTS[mode]:>12.0f} req/s")
+            print(f"  {mode:<10}{RESULTS[mode]:>12.0f} req/s")
     if "cold" in RESULTS and "warm" in RESULTS:
         print(f"  warm/cold ratio: {RESULTS['warm'] / RESULTS['cold']:.1f}x "
               f"(bar: {WARM_OVER_COLD:.0f}x)")
+    if "cold" in RESULTS and "disk-warm" in RESULTS:
+        print(f"  disk-warm/cold ratio: "
+              f"{RESULTS['disk-warm'] / RESULTS['cold']:.1f}x "
+              f"(bar: {DISK_WARM_OVER_COLD:.0f}x)")
 
 
 # -- pytest entry points ---------------------------------------------------
@@ -134,6 +148,33 @@ if pytest is not None:
             f"warm {RESULTS['warm']:.0f} req/s vs cold {RESULTS['cold']:.0f} "
             f"req/s: below the {WARM_OVER_COLD:.0f}x bar")
 
+    def test_disk_warm_restart(benchmark, requests_, tmp_path_factory):
+        cache_dir = tmp_path_factory.mktemp("decision-cache")
+        # Warm the persistent tier, then throw the service (and its
+        # memory tier) away — the restart.
+        with DecisionService(max_batch_size=16, max_wait_ms=1.0,
+                             cache_dir=cache_dir) as warmer:
+            for request in requests_:
+                warmer.allocate(request)
+
+        with DecisionService(max_batch_size=16, max_wait_ms=1.0,
+                             cache_dir=cache_dir) as restarted:
+            def run():
+                elapsed, responses = run_sequential(restarted, requests_)
+                # every request answered without a scheduler run
+                assert all(r.cache_hit for r in responses)
+                RESULTS["disk-warm"] = len(requests_) / elapsed
+
+            benchmark.pedantic(run, iterations=1, rounds=1)
+            stats = restarted.cache.stats()
+            assert stats.disk_hits == len(requests_)
+        if "cold" in RESULTS:
+            assert RESULTS["disk-warm"] >= (
+                DISK_WARM_OVER_COLD * RESULTS["cold"]), (
+                f"disk-warm {RESULTS['disk-warm']:.0f} req/s vs cold "
+                f"{RESULTS['cold']:.0f} req/s: below the "
+                f"{DISK_WARM_OVER_COLD:.0f}x bar")
+
     def test_batched_concurrent(benchmark, requests_):
         with DecisionService(max_batch_size=16, max_wait_ms=5.0) as fresh:
             def run():
@@ -150,14 +191,25 @@ if pytest is not None:
 # -- standalone entry point ------------------------------------------------
 
 def main() -> int:
+    import tempfile
+
     requests = build_requests()
-    with DecisionService(max_batch_size=16, max_wait_ms=1.0) as svc:
-        elapsed, responses = run_sequential(svc, requests)
-        assert not any(r.cache_hit for r in responses)
-        RESULTS["cold"] = len(requests) / elapsed
-        elapsed, responses = run_sequential(svc, requests)
-        assert all(r.cache_hit for r in responses)
-        RESULTS["warm"] = len(requests) / elapsed
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with DecisionService(max_batch_size=16, max_wait_ms=1.0,
+                             cache_dir=cache_dir) as svc:
+            elapsed, responses = run_sequential(svc, requests)
+            assert not any(r.cache_hit for r in responses)
+            RESULTS["cold"] = len(requests) / elapsed
+            elapsed, responses = run_sequential(svc, requests)
+            assert all(r.cache_hit for r in responses)
+            RESULTS["warm"] = len(requests) / elapsed
+        # Restart: fresh memory tier, same cache directory.
+        with DecisionService(max_batch_size=16, max_wait_ms=1.0,
+                             cache_dir=cache_dir) as svc:
+            elapsed, responses = run_sequential(svc, requests)
+            assert all(r.cache_hit for r in responses)
+            assert svc.cache.stats().disk_hits == len(requests)
+            RESULTS["disk-warm"] = len(requests) / elapsed
     with DecisionService(max_batch_size=16, max_wait_ms=5.0) as svc:
         elapsed, _ = run_concurrent(svc, requests)
         RESULTS["batched"] = len(requests) / elapsed
@@ -165,6 +217,10 @@ def main() -> int:
     if RESULTS["warm"] < WARM_OVER_COLD * RESULTS["cold"]:
         print(f"FAIL: warm throughput below {WARM_OVER_COLD:.0f}x cold",
               file=sys.stderr)
+        return 1
+    if RESULTS["disk-warm"] < DISK_WARM_OVER_COLD * RESULTS["cold"]:
+        print(f"FAIL: disk-warm throughput below "
+              f"{DISK_WARM_OVER_COLD:.0f}x cold", file=sys.stderr)
         return 1
     return 0
 

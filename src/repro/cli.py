@@ -143,6 +143,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "thread per request")
     srv.add_argument("--cache-shards", type=int, default=8,
                      help="decision-cache shard count (1 = single-lock LRU)")
+    srv.add_argument("--cache-dir", type=Path, default=None,
+                     help="persistent decision-cache directory for "
+                          "cross-restart warm starts "
+                          "(default: $REPRO_CACHE_DIR; unset = memory-only)")
     srv.add_argument("--max-queue-depth", type=int, default=None,
                      help="batcher backpressure limit; beyond this many "
                           "queued requests the service answers 503 + "
@@ -389,6 +393,7 @@ def _cmd_serve(args) -> int:
                 max_batch_size=args.max_batch,
                 max_wait_ms=args.max_wait_ms,
                 max_queue_depth=args.max_queue_depth,
+                cache_dir=args.cache_dir,
             )
 
         serve_async(args.host, args.port, factory,
@@ -403,6 +408,7 @@ def _cmd_serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
         max_queue_depth=args.max_queue_depth,
         workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     serve(args.host, args.port, service, announce=announce)
     return 0
@@ -444,24 +450,32 @@ def _cmd_request(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    from .experiments.cache import ResultCache, resolve_cache_dir
+    from .cache import ALL_TIER_PATTERNS, ContentAddressedStore, resolve_cache_dir
 
     cache_dir = resolve_cache_dir(args.cache_dir)
     if cache_dir is None:
         print("no cache directory: pass --cache-dir or set REPRO_CACHE_DIR",
               file=sys.stderr)
         return 2
-    cache = ResultCache(cache_dir)
+    # One view over every tier sharing the directory: experiment
+    # results (*.npz) and persisted service decisions (decisions/*.json).
+    cache = ContentAddressedStore(cache_dir, patterns=ALL_TIER_PATTERNS)
     if args.cache_command == "info":
         entries_lru = cache.entries()
         print(f"{cache_dir}: {len(entries_lru)} entries, "
               f"{cache.size_bytes()} bytes")
+        for pattern in ALL_TIER_PATTERNS:
+            tier = ContentAddressedStore(cache_dir, patterns=(pattern,))
+            tier_entries = tier.entries()
+            print(f"  tier {pattern}: {len(tier_entries)} entries, "
+                  f"{tier.size_bytes()} bytes")
         for path in entries_lru:
             try:
                 size = path.stat().st_size
             except OSError:
                 continue  # vanished under a concurrent prune
-            print(f"  {path.name}  {size} bytes")
+            name = path.relative_to(cache_dir)
+            print(f"  {name}  {size} bytes")
         return 0
     report = cache.prune(args.max_bytes, dry_run=args.dry_run)
     if args.dry_run:

@@ -6,24 +6,30 @@ the registered scheduler entries, and the metric functions (module,
 qualname, bytecode, defaults, and closure values, so
 ``_synth_nprocs(16)`` and ``_synth_nprocs(64)`` hash differently and
 editing a scheduler's or metric's own code invalidates its entries).
-The hash does not chase functions reached through module globals, so
-after changing a deep callee of a scheduler, clear the cache directory
-(or run once with ``use_cache=False``).  Because every backend produces bit-identical
-arrays from the same spec (see :mod:`repro.experiments.engine`), a
-result computed once — serially, or on a process pool — satisfies
-every later run of the same figure: regenerating a figure or re-running
-a benchmark with a warm cache does no scheduling work at all.
+Functions nested inside a hashed function (a ``def`` or ``lambda`` in
+its body) are hashed by their *bytecode*, recursively — never by the
+``repr`` of the code object, which embeds a memory address and would
+silently give every process a fresh fingerprint (a permanent cache
+miss).  The hash does not chase functions reached through module
+globals, so after changing a deep callee of a scheduler, clear the
+cache directory (or run once with ``use_cache=False``).  Because every
+backend produces bit-identical arrays from the same spec (see
+:mod:`repro.experiments.engine`), a result computed once — serially,
+or on a process pool — satisfies every later run of the same figure:
+regenerating a figure or re-running a benchmark with a warm cache does
+no scheduling work at all.
 
-The cache directory comes from the ``cache_dir=`` argument or the
-``REPRO_CACHE_DIR`` environment variable; when neither is set, caching
-is off.  Entries are ``<experiment_id>-<digest>.npz`` files holding
+The file mechanics — atomic publication, LRU-by-mtime enumeration,
+the byte-budget prune behind ``repro cache prune`` — are the unified
+disk tier's (:class:`repro.cache.ContentAddressedStore`); this module
+owns only what is experiment-specific: the spec fingerprint and the
+npz codec.  Entries are ``<experiment_id>-<digest>.npz`` files holding
 the raw sample arrays plus a JSON metadata blob; anything that fails
 to load (truncated file, stale format) is treated as a miss.
 
-The directory grows without bound by default; :meth:`ResultCache.prune`
-applies a byte budget, deleting least-recently-used entries first
-(loads touch the file mtime, so mtime order *is* recency order) —
-``repro cache prune --max-bytes 500M`` from the CLI.
+The cache directory comes from the ``cache_dir=`` argument or the
+``REPRO_CACHE_DIR`` environment variable; when neither is set, caching
+is off.
 """
 
 from __future__ import annotations
@@ -31,14 +37,18 @@ from __future__ import annotations
 import hashlib
 import io
 import json
-import os
-import warnings
-from dataclasses import dataclass
+import types
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..cache.disk import (
+    CACHE_DIR_ENV,
+    ContentAddressedStore,
+    PruneReport,
+    resolve_cache_dir,
+)
 from ..core.registry import SchedulerEntry, get_entry
 from ..types import ModelError
 from .results import ExperimentResult
@@ -46,10 +56,8 @@ from .results import ExperimentResult
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .runner import Experiment
 
-__all__ = ["ResultCache", "PruneReport", "spec_fingerprint", "resolve_cache_dir"]
-
-#: Env var naming the cache directory (cache disabled when unset).
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+__all__ = ["ResultCache", "PruneReport", "spec_fingerprint",
+           "resolve_cache_dir", "CACHE_DIR_ENV"]
 
 #: Bump when the on-disk layout changes; part of every fingerprint.
 _FORMAT_VERSION = 1
@@ -58,6 +66,29 @@ _FORMAT_VERSION = 1
 #: Closure values hashed by content; anything else hashes by type only
 #: (a mutable object's repr is not a stable identity).
 _ATOMIC_TYPES = (str, bytes, int, float, complex, bool, type(None), tuple, frozenset)
+
+
+def _consts_fingerprint(consts: tuple) -> str:
+    """Stable description of a code object's constant pool.
+
+    ``repr(co_consts)`` is *not* stable: a nested function or lambda
+    appears in the pool as a code object whose repr embeds its memory
+    address, different in every process — so any factory or metric
+    with a nested ``def`` would fingerprint fresh on every run, a
+    permanent silent cache miss.  Code objects are therefore described
+    by name plus a digest of their bytecode and (recursively) their
+    own constant pool; everything else keeps its literal repr.
+    """
+    parts = []
+    for const in consts:
+        if isinstance(const, types.CodeType):
+            parts.append(
+                f"<code:{const.co_name}:"
+                f"{hashlib.sha256(const.co_code).hexdigest()}:"
+                f"{_consts_fingerprint(const.co_consts)}>")
+        else:
+            parts.append(repr(const))
+    return "(" + ",".join(parts) + ")"
 
 
 def _callable_fingerprint(fn: Callable, parts: list[str], *, depth: int = 0) -> None:
@@ -71,7 +102,7 @@ def _callable_fingerprint(fn: Callable, parts: list[str], *, depth: int = 0) -> 
     code = getattr(fn, "__code__", None)
     if code is not None:
         parts.append(hashlib.sha256(code.co_code).hexdigest())
-        parts.append(repr(code.co_consts))
+        parts.append(_consts_fingerprint(code.co_consts))
     defaults = getattr(fn, "__defaults__", None)
     if defaults:
         parts.append(repr(defaults))
@@ -131,62 +162,29 @@ def spec_fingerprint(exp: "Experiment") -> str:
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
 
-def resolve_cache_dir(cache_dir: str | Path | None) -> Path | None:
-    """Pick the cache directory: argument > REPRO_CACHE_DIR > disabled."""
-    if cache_dir is None:
-        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
-    return Path(cache_dir) if cache_dir is not None else None
-
-
-@dataclass(frozen=True)
-class PruneReport:
-    """Outcome of a :meth:`ResultCache.prune` pass.
-
-    Attributes
-    ----------
-    deleted : tuple[Path, ...]
-        Entries removed, oldest first.
-    freed_bytes, kept_bytes : int
-        Bytes reclaimed / still on disk after the pass.
-    """
-
-    deleted: tuple[Path, ...]
-    freed_bytes: int
-    kept_bytes: int
-
-
 class ResultCache:
-    """npz-file result store keyed by :func:`spec_fingerprint`."""
+    """npz-file result store keyed by :func:`spec_fingerprint`.
+
+    The experiment-result tier of the unified cache subsystem: this
+    class is the npz codec over a
+    :class:`repro.cache.ContentAddressedStore` scoped to ``*.npz``
+    entries (the service's decision tier shares the same directory
+    under ``decisions/`` without collision).
+    """
 
     def __init__(self, cache_dir: str | Path):
         self.cache_dir = Path(cache_dir)
-
-    @staticmethod
-    def _stat_or_none(path: Path):
-        """stat() tolerating a concurrently-deleted entry."""
-        try:
-            return path.stat()
-        except OSError:
-            return None
+        self._store = ContentAddressedStore(self.cache_dir,
+                                            patterns=("*.npz",),
+                                            label="result cache")
 
     def entries(self) -> list[Path]:
         """All cache entry files, least recently used first (by mtime)."""
-        if not self.cache_dir.is_dir():
-            return []
-        stamped = []
-        for path in self.cache_dir.glob("*.npz"):
-            st = self._stat_or_none(path)
-            if st is not None:
-                stamped.append((st.st_mtime, path.name, path))
-        return [path for _, _, path in sorted(stamped)]
+        return self._store.entries()
 
     def size_bytes(self) -> int:
         """Total bytes currently held by cache entries."""
-        return sum(
-            st.st_size
-            for st in map(self._stat_or_none, self.entries())
-            if st is not None
-        )
+        return self._store.size_bytes()
 
     def prune(self, max_bytes: int, *, dry_run: bool = False) -> PruneReport:
         """Delete least-recently-used entries until under *max_bytes*.
@@ -198,29 +196,7 @@ class ResultCache:
         cache.  With ``dry_run=True`` nothing is unlinked; the report
         lists what a real pass would delete.
         """
-        if max_bytes < 0:
-            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
-        entries = self.entries()
-        sizes = {}
-        for path in entries:
-            st = self._stat_or_none(path)
-            sizes[path] = st.st_size if st is not None else 0
-        total = sum(sizes.values())
-        deleted: list[Path] = []
-        freed = 0
-        for path in entries:  # oldest first
-            if total <= max_bytes:
-                break
-            if not dry_run:
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-            total -= sizes[path]
-            freed += sizes[path]
-            deleted.append(path)
-        return PruneReport(deleted=tuple(deleted), freed_bytes=freed,
-                           kept_bytes=total)
+        return self._store.prune(max_bytes, dry_run=dry_run)
 
     def path_for(self, exp: "Experiment") -> Path:
         return self.cache_dir / f"{exp.experiment_id}-{spec_fingerprint(exp)[:24]}.npz"
@@ -251,27 +227,28 @@ class ResultCache:
         except Exception:
             # A corrupt or stale entry is just a miss; it will be rewritten.
             return None
-        try:
-            # A hit refreshes the entry's mtime so prune() evicts in
-            # true least-recently-used order, not creation order.
-            os.utime(path)
-        except OSError:
-            pass
+        # A hit refreshes the entry's mtime so prune() evicts in
+        # true least-recently-used order, not creation order.
+        self._store.touch(path)
         return result
 
-    def store(self, exp: "Experiment", result: ExperimentResult) -> Path | None:
+    def store(self, exp: "Experiment",
+              result: ExperimentResult) -> Path | None:
         """Persist *result* under *exp*'s fingerprint (atomic rename).
 
         Storage failures (unwritable directory, path collisions) only
         cost the cache entry, never the computed result: they warn and
         return None.
         """
+        # A result with no schedulers still round-trips: its metric
+        # list is empty rather than StopIteration on the first value.
+        first = next(iter(result.data.values()), {})
         meta = {
             "experiment_id": result.experiment_id,
             "title": result.title,
             "xlabel": result.xlabel,
             "schedulers": list(result.data),
-            "metrics": sorted(next(iter(result.data.values()))),
+            "metrics": sorted(first),
             "result_meta": result.meta,
         }
         arrays: dict[str, np.ndarray] = {"x": result.x}
@@ -281,18 +258,6 @@ class ResultCache:
         buffer = io.BytesIO()
         np.savez(buffer, meta_json=np.str_(json.dumps(meta)), **arrays)
         path = self.path_for(exp)
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        try:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            tmp.write_bytes(buffer.getvalue())
-            os.replace(tmp, path)
-        except OSError as exc:
-            warnings.warn(
-                f"result cache: could not store {path}: {exc}",
-                RuntimeWarning, stacklevel=2)
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
+        if not self._store.write_atomic(path, buffer.getvalue()):
             return None
         return path

@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..cache import LRUCache
 from ..core.registry import get_entry
 from ..types import ModelError
 
@@ -275,15 +276,21 @@ def _run_batch(exp: "Experiment", batch: Iterable[Task]) -> list[dict[str, float
     partial successes) match the serial engine exactly.
     """
     tasks = list(batch)
-    memo: dict[tuple[int, int], tuple] = {}
+    # The per-batch factory memo rides the unified in-memory backend
+    # (counter-free peek/put).  Capacity covers every distinct cell in
+    # the batch, so nothing is ever evicted and rebuilding from
+    # instance_seed stays a pure optimization.
+    memo: LRUCache = LRUCache(max(len(tasks), 1))
     out: list[dict[str, float] | None] = [None] * len(tasks)
     deferred: dict[str, list[tuple[int, object, object, object]]] = {}
     for idx, task in enumerate(tasks):
         cell = (task.rep, task.point_index)
-        if cell not in memo:
-            memo[cell] = exp.factory(
+        pair = memo.peek(cell)
+        if pair is None:
+            pair = exp.factory(
                 task.point, np.random.default_rng(task.instance_seed))
-        workload, platform = memo[cell]
+            memo.put(cell, pair)
+        workload, platform = pair
         if exp.evaluate is not None:
             sample = exp.evaluate(
                 workload, platform, task.scheduler,

@@ -43,6 +43,7 @@ from collections import deque
 from time import perf_counter
 from typing import Callable
 
+from ..cache import LRUCache
 from ..core.registry import entries
 from ..types import ReproError
 from .batcher import QueueFullError
@@ -92,34 +93,39 @@ class _ByteCache:
     as a cache hit (``cache_hit=True``, ``coalesced=False``,
     ``batch_size=0``) and truncated just after ``"latency_ms": `` —
     the hit path appends the fresh latency and the closing brace, so a
-    replay costs a dict probe and one concatenation.  FIFO-bounded;
-    the event loop is single-threaded so no lock is needed.
+    replay costs a cache probe and one concatenation.
+
+    Storage is the unified :class:`repro.cache.LRUCache` used in
+    *FIFO* mode: gets go through counter-free :meth:`peek` (this tier
+    fronts the decision cache, whose counters stay authoritative via
+    ``note_bytecache_hit``), so recency is never refreshed and the
+    LRU eviction order degenerates to insertion order — exactly the
+    bounded-FIFO behavior this tier has always had.
     """
 
     __slots__ = ("capacity", "_entries")
 
     def __init__(self, capacity: int = 4096):
         self.capacity = capacity
-        self._entries: dict[bytes, bytes] = {}
+        self._entries: LRUCache | None = (
+            LRUCache(capacity) if capacity >= 1 else None)
 
     def get(self, body: bytes) -> bytes | None:
-        return self._entries.get(body)
+        return self._entries.peek(body) if self._entries is not None else None
 
     def put(self, body: bytes, payload: dict) -> None:
         entries_ = self._entries
-        if body in entries_ or self.capacity < 1:
+        if entries_ is None or entries_.peek(body) is not None:
             return
-        if len(entries_) >= self.capacity:
-            entries_.pop(next(iter(entries_)))
         replay = dict(payload)
         replay["cache_hit"] = True
         replay["coalesced"] = False
         replay["batch_size"] = 0
         replay.pop("latency_ms", None)
-        entries_[body] = (json.dumps(replay)[:-1] + ', "latency_ms": ').encode()
+        entries_.put(body, (json.dumps(replay)[:-1] + ', "latency_ms": ').encode())
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._entries) if self._entries is not None else 0
 
 
 class AsyncDecisionServer:

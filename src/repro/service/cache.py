@@ -1,356 +1,45 @@
-"""In-memory LRU decision cache with serving counters.
+"""Decision-cache names for the serving layer (backed by repro.cache).
 
 The decision service answers repeated questions from memory: the
-cache maps a request fingerprint (see
-:mod:`repro.service.protocol`) to the computed
-:class:`~repro.service.protocol.AllocationDecision`.  Decisions are
-immutable, so a hit can be handed to any number of concurrent callers
-without copying.
+cache maps a request fingerprint (see :mod:`repro.service.protocol`)
+to the computed :class:`~repro.service.protocol.AllocationDecision`.
+Decisions are immutable, so a hit can be handed to any number of
+concurrent callers without copying.
 
-Unlike the on-disk experiment result cache
-(:mod:`repro.experiments.cache`), which holds whole figure grids and
-persists across processes, this cache is a bounded, process-local
-serving structure: capacity-capped, least-recently-used eviction, and
-hit/miss/eviction counters exported through ``/metrics``.  All
-operations are O(1) and thread-safe — HTTP handler threads and the
-dispatch pool share one instance.
-
-Two implementations share that contract:
+The implementations live in the unified cache subsystem
+(:mod:`repro.cache`); this module keeps the serving-layer names
+stable:
 
 :class:`DecisionCache`
-    The original single-lock strict-LRU map.  Every operation — hits
-    included — serializes on one lock, which is fine for a demo and a
-    bottleneck under concurrency.
+    The single-lock strict-LRU backend
+    (:class:`repro.cache.LRUCache`).
 
 :class:`ShardedDecisionCache`
-    The high-QPS variant: the SHA-256 request fingerprint hashes onto
-    one of K independent shards, each with its own lock and its own
-    second-chance (CLOCK) eviction ring, so concurrent cache traffic
-    stops serializing on a single lock.  Hits touch only a reference
-    flag (no reordering), and :meth:`~ShardedDecisionCache.get_many`
-    probes a whole key batch lock-free — the batch producers (the
-    async front end, the request batcher, benchmarks) amortize counter
-    updates to one locked tally per burst.  Aggregate hit/miss/
-    eviction counters keep the exact meaning (and metric keys) of the
-    single-lock cache.
+    The high-QPS fingerprint-sharded CLOCK backend
+    (:class:`repro.cache.ShardedClockCache`).  Shard assignment is
+    derived from the SHA-256 fingerprint bits
+    (:func:`repro.cache.stable_shard_index`), so a key maps to the
+    same shard in every process and across restarts — the consistent
+    assignment a shard map shared between pre-forked workers requires.
+
+Both expose identical counters (:class:`repro.cache.CacheStats`):
+hits + misses always equals the exact number of lookups, and the
+``/metrics`` keys are the same whichever backend serves.  The service
+core composes either backend with the content-addressed disk tier
+through :class:`repro.cache.TieredCache` for cross-restart warm
+starts.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from typing import Generic, Optional, Sequence, TypeVar
-
-from ..types import ModelError
+from ..cache.memory import LRUCache, ShardedClockCache, stable_shard_index
+from ..cache.stats import CacheStats, ShardedCacheStats
 
 __all__ = ["DecisionCache", "ShardedDecisionCache", "CacheStats",
-           "ShardedCacheStats"]
+           "ShardedCacheStats", "stable_shard_index"]
 
-V = TypeVar("V")
+#: The original single-lock strict-LRU decision cache.
+DecisionCache = LRUCache
 
-#: Smallest per-shard capacity worth having: below this the shard
-#: count is rounded down (a 2-entry cache gets 1 shard, not 8).
-_MIN_SHARD_CAPACITY = 16
-
-
-class CacheStats:
-    """A snapshot of the cache counters (plain attributes, no lock)."""
-
-    __slots__ = ("hits", "misses", "evictions", "size", "capacity")
-
-    def __init__(self, hits: int, misses: int, evictions: int,
-                 size: int, capacity: int):
-        self.hits = hits
-        self.misses = misses
-        self.evictions = evictions
-        self.size = size
-        self.capacity = capacity
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Hits over lookups; 0.0 before any traffic."""
-        total = self.lookups
-        return self.hits / total if total else 0.0
-
-    def as_dict(self) -> dict[str, float]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": self.size,
-            "capacity": self.capacity,
-            "hit_rate": self.hit_rate,
-        }
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
-                f"evictions={self.evictions}, size={self.size}/{self.capacity})")
-
-
-class DecisionCache(Generic[V]):
-    """Thread-safe LRU map from request fingerprint to decision.
-
-    Parameters
-    ----------
-    capacity : int
-        Maximum number of retained decisions (>= 1).  Inserting into a
-        full cache evicts the least-recently-*used* entry — a lookup
-        hit refreshes recency, an insert counts as a use.
-    """
-
-    def __init__(self, capacity: int = 1024):
-        if capacity < 1:
-            raise ModelError(f"cache capacity must be >= 1, got {capacity}")
-        self.capacity = int(capacity)
-        self._entries: OrderedDict[str, V] = OrderedDict()
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-
-    def get(self, key: str) -> Optional[V]:
-        """Return the cached decision or None; counts a hit or a miss."""
-        with self._lock:
-            try:
-                value = self._entries[key]
-            except KeyError:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return value
-
-    def peek(self, key: str) -> Optional[V]:
-        """Like :meth:`get` but without touching recency or counters."""
-        with self._lock:
-            return self._entries.get(key)
-
-    def put(self, key: str, value: V) -> None:
-        """Insert (or refresh) *key*, evicting the LRU entry if full."""
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self._entries[key] = value
-                return
-            if len(self._entries) >= self.capacity:
-                self._entries.popitem(last=False)
-                self._evictions += 1
-            self._entries[key] = value
-
-    def clear(self) -> None:
-        """Drop every entry (counters are kept — they are lifetime totals)."""
-        with self._lock:
-            self._entries.clear()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def __contains__(self, key: str) -> bool:
-        with self._lock:
-            return key in self._entries
-
-    def count_hit(self) -> None:
-        """Record a hit served on the cache's behalf by a front cache.
-
-        The async front end keeps an L0 byte-level response cache; a
-        repeat absorbed there is still a decision served from memory,
-        so it counts here to keep the aggregate hit/miss accounting
-        meaningful across front ends.
-        """
-        with self._lock:
-            self._hits += 1
-
-    def stats(self) -> CacheStats:
-        """Consistent snapshot of the counters."""
-        with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                evictions=self._evictions,
-                size=len(self._entries),
-                capacity=self.capacity,
-            )
-
-
-class ShardedCacheStats(CacheStats):
-    """Aggregate :class:`CacheStats` plus the shard count."""
-
-    __slots__ = ("shards",)
-
-    def __init__(self, hits: int, misses: int, evictions: int,
-                 size: int, capacity: int, shards: int):
-        super().__init__(hits, misses, evictions, size, capacity)
-        self.shards = shards
-
-    def as_dict(self) -> dict[str, float]:
-        out = super().as_dict()
-        out["shards"] = self.shards
-        return out
-
-
-class ShardedDecisionCache(Generic[V]):
-    """Fingerprint-sharded decision cache: per-shard locks, batch probes.
-
-    Keys (SHA-256 hex fingerprints) hash onto one of ``shards``
-    independent shards — fixed at construction, so plain uniform
-    hashing over the fingerprint *is* the consistent assignment: a key
-    maps to the same shard for the cache's whole lifetime and shards
-    never move.  Each shard owns a lock, a dict, and a second-chance
-    (CLOCK) eviction ring: a hit sets the entry's reference flag
-    instead of reordering a linked list, so the hit path mutates
-    nothing another thread must observe in order.
-
-    Concurrency contract:
-
-    * :meth:`get` and :meth:`put` take only their shard's lock —
-      traffic on distinct shards never serializes.
-    * :meth:`get_many` probes a whole key batch *lock-free* (CPython
-      dict reads are safe against concurrent locked writers) and then
-      folds the batch's hit/miss tally into the counters under one
-      lock — one acquisition per burst instead of one per key.
-    * All counters are updated under a lock (no benign-race drops):
-      hits + misses always equals the exact number of lookups.
-
-    Eviction is per-shard second-chance, which approximates LRU: a
-    referenced entry gets one trip around the ring before it can be
-    evicted.  Counter *semantics* (hits, misses, evictions, size,
-    capacity, hit_rate) are identical to :class:`DecisionCache`.
-    """
-
-    def __init__(self, capacity: int = 1024, shards: int = 8):
-        if capacity < 1:
-            raise ModelError(f"cache capacity must be >= 1, got {capacity}")
-        if shards < 1:
-            raise ModelError(f"shard count must be >= 1, got {shards}")
-        self.capacity = int(capacity)
-        # Power-of-two shard count for mask-based selection.  Small
-        # caches round the shard count down so every shard keeps a
-        # useful capacity: sharding exists to split lock traffic, and
-        # a near-empty shard only distorts eviction behavior (exact
-        # eviction counts stay deterministic on a single shard).
-        nshards = 1
-        while nshards < shards:
-            nshards <<= 1
-        while nshards > 1 and self.capacity < nshards * _MIN_SHARD_CAPACITY:
-            nshards >>= 1
-        self.shards = nshards
-        self._mask = self.shards - 1
-        # Per-shard capacities sum exactly to the configured capacity.
-        base, extra = divmod(self.capacity, self.shards)
-        self._caps = [base + (1 if i < extra else 0)
-                      for i in range(self.shards)]
-        self._dicts: list[dict[str, list]] = [dict() for _ in range(self.shards)]
-        self._locks = [threading.Lock() for _ in range(self.shards)]
-        self._hits = [0] * self.shards
-        self._misses = [0] * self.shards
-        self._evictions = [0] * self.shards
-        # Batch-probe tallies (get_many) fold in here, one lock per burst.
-        self._agg_lock = threading.Lock()
-        self._agg_hits = 0
-        self._agg_misses = 0
-
-    # -- single-key operations ---------------------------------------------
-    def get(self, key: str) -> Optional[V]:
-        """Return the cached decision or None; counts a hit or a miss."""
-        i = hash(key) & self._mask
-        with self._locks[i]:
-            entry = self._dicts[i].get(key)
-            if entry is None:
-                self._misses[i] += 1
-                return None
-            entry[1] = True
-            self._hits[i] += 1
-            return entry[0]
-
-    def get_many(self, keys: Sequence[str]) -> list[Optional[V]]:
-        """Probe a key batch lock-free; one counter tally per call.
-
-        This is the bulk path batch producers use: per key it is a
-        dict probe plus a reference-flag store, with no lock at all;
-        the exact hit/miss counts fold into the aggregate counters
-        under a single lock acquisition at the end.
-        """
-        dicts = self._dicts
-        mask = self._mask
-        out: list[Optional[V]] = []
-        append = out.append
-        misses = 0
-        for key in keys:
-            entry = dicts[hash(key) & mask].get(key)
-            if entry is None:
-                misses += 1
-                append(None)
-            else:
-                entry[1] = True
-                append(entry[0])
-        with self._agg_lock:
-            self._agg_hits += len(out) - misses
-            self._agg_misses += misses
-        return out
-
-    def peek(self, key: str) -> Optional[V]:
-        """Like :meth:`get` but without touching recency or counters."""
-        entry = self._dicts[hash(key) & self._mask].get(key)
-        return entry[0] if entry is not None else None
-
-    def put(self, key: str, value: V) -> None:
-        """Insert (or refresh) *key*; second-chance eviction when full."""
-        i = hash(key) & self._mask
-        d = self._dicts[i]
-        with self._locks[i]:
-            entry = d.get(key)
-            if entry is not None:
-                entry[0] = value
-                entry[1] = True
-                return
-            cap = self._caps[i]
-            scans = 0
-            while len(d) >= cap:
-                # CLOCK hand: the oldest entry gets a second chance if
-                # it was referenced since its last trip; the scan bound
-                # guarantees an eviction even when everything is hot.
-                old_key = next(iter(d))
-                old = d.pop(old_key)
-                if old[1] and scans <= len(d):
-                    old[1] = False
-                    d[old_key] = old
-                    scans += 1
-                else:
-                    self._evictions[i] += 1
-            d[key] = [value, False]
-
-    def count_hit(self) -> None:
-        """Record a front-cache (L0) hit in the aggregate counters."""
-        with self._agg_lock:
-            self._agg_hits += 1
-
-    def clear(self) -> None:
-        """Drop every entry (counters are kept — they are lifetime totals)."""
-        for i in range(self.shards):
-            with self._locks[i]:
-                self._dicts[i].clear()
-
-    def __len__(self) -> int:
-        return sum(len(d) for d in self._dicts)
-
-    def __contains__(self, key: str) -> bool:
-        return key in self._dicts[hash(key) & self._mask]
-
-    def stats(self) -> ShardedCacheStats:
-        """Aggregate counter snapshot across every shard."""
-        with self._agg_lock:
-            hits = self._agg_hits
-            misses = self._agg_misses
-        return ShardedCacheStats(
-            hits=hits + sum(self._hits),
-            misses=misses + sum(self._misses),
-            evictions=sum(self._evictions),
-            size=len(self),
-            capacity=self.capacity,
-            shards=self.shards,
-        )
+#: The fingerprint-sharded per-shard-lock decision cache.
+ShardedDecisionCache = ShardedClockCache

@@ -5,7 +5,9 @@ server, the CLI, tests, benchmarks) talks to.  One call —
 :meth:`~DecisionService.allocate` — runs the full serving path:
 
 1. canonicalize + fingerprint the request (:mod:`.protocol`),
-2. answer from the LRU decision cache on a repeat (:mod:`.cache`),
+2. answer from the tiered decision cache on a repeat — memory first,
+   then (when a cache directory is configured) the persistent disk
+   tier (:mod:`repro.cache`),
 3. otherwise enqueue into the coalescing batcher (:mod:`.batcher`),
    which dispatches batches onto the worker pool (:mod:`.dispatcher`),
 4. store the fresh decision and stamp serving metadata (latency,
@@ -22,9 +24,14 @@ import threading
 from time import perf_counter
 from typing import Mapping
 
+from ..cache import (
+    DecisionDiskTier,
+    TieredCache,
+    make_memory_backend,
+    resolve_cache_dir,
+)
 from ..types import ModelError
 from .batcher import RequestBatcher
-from .cache import DecisionCache, ShardedDecisionCache
 from .dispatcher import Dispatcher
 from .metrics import Gauge, LatencyHistogram
 from .protocol import (
@@ -61,6 +68,14 @@ class DecisionService:
         layers answer 503 + ``Retry-After``).  None = unbounded.
     workers : int, optional
         Dispatcher pool size (default: engine's worker resolution).
+    cache_dir : str | Path, optional
+        Directory for the persistent decision tier.  When set (or when
+        ``REPRO_CACHE_DIR`` is in the environment), every fresh
+        decision is also written through to disk and a new process
+        answers previously-seen requests as cache hits from its very
+        first call — a cross-restart warm start.  None with no env var
+        keeps the cache memory-only (the historical behavior, with
+        bit-identical counters).
     """
 
     def __init__(
@@ -72,13 +87,17 @@ class DecisionService:
         max_wait_ms: float = 2.0,
         max_queue_depth: int | None = None,
         workers: int | None = None,
+        cache_dir=None,
     ):
         if max_wait_ms < 0:
             raise ModelError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
-        if cache_shards > 1:
-            self.cache = ShardedDecisionCache(cache_capacity, shards=cache_shards)
-        else:
-            self.cache = DecisionCache(cache_capacity)
+        disk_dir = resolve_cache_dir(cache_dir)
+        self.cache = TieredCache(
+            make_memory_backend(cache_capacity, shards=cache_shards),
+            disk=DecisionDiskTier(disk_dir) if disk_dir is not None else None,
+            encode=AllocationDecision.to_payload,
+            decode=AllocationDecision.from_payload,
+        )
         self.dispatcher = Dispatcher(workers=workers)
         self.batcher = RequestBatcher(
             self.dispatcher.evaluate,

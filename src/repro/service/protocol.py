@@ -197,6 +197,24 @@ class AllocationDecision:
             "scheduler": self.scheduler,
         }
 
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "AllocationDecision":
+        """Rebuild a decision from :meth:`to_payload` output.
+
+        The inverse used when a decision crosses the disk tier of the
+        cache: JSON round-trips lists and numbers, so tuples and float
+        widths are restored here.  Raises on a malformed payload (the
+        cache treats that as a miss).
+        """
+        return cls(
+            names=tuple(str(n) for n in payload["names"]),
+            procs=tuple(float(p) for p in payload["procs"]),
+            cache=tuple(float(c) for c in payload["cache"]),
+            times=tuple(float(t) for t in payload["times"]),
+            makespan=float(payload["makespan"]),
+            scheduler=str(payload["scheduler"]),
+        )
+
 
 @dataclass(frozen=True)
 class AllocationResponse:
