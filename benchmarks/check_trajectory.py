@@ -53,11 +53,20 @@ REQUIRED_BENCHES = {
         "cache_single_8t",
         "cache_sharded_8t",
     ),
+    "pr9": (
+        "chaos_dominant_clean",
+        "chaos_fair_clean",
+    ),
 }
 
 #: pr7 records must chart the saturation curve: at least this many
 #: offered-load points, each reporting a numeric p99.
 MIN_LOADGEN_POINTS = 3
+
+#: pr9 records must chart goodput retained vs. fault rate: at least
+#: this many nonzero fault-rate points per policy, >= 2 policies.
+MIN_CHAOS_POINTS = 2
+MIN_CHAOS_POLICIES = 2
 
 _TYPES = {
     "object": dict,
@@ -120,7 +129,38 @@ def validate_record(record: dict) -> list[str]:
             p99 = benches[name].get("p99_ms") if isinstance(benches[name], dict) else None
             if not isinstance(p99, (int, float)) or isinstance(p99, bool):
                 errors.append(f"$.benches.{name}: missing numeric p99_ms")
+    if record.get("pr") == "pr9":
+        _check_chaos_curve(benches, errors)
     return errors
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_chaos_curve(benches: dict, errors: list[str]) -> None:
+    """pr9 contract: a goodput-retained-vs-fault-rate curve for >= 2
+    policies, each with >= MIN_CHAOS_POINTS nonzero fault rates."""
+    per_policy: dict[str, set] = {}
+    for name, bench in benches.items():
+        if not (name.startswith("chaos_") and isinstance(bench, dict)):
+            continue
+        rate = bench.get("fault_rate")
+        retained = bench.get("goodput_retained")
+        if not _is_number(rate) or not _is_number(retained):
+            errors.append(f"$.benches.{name}: chaos benches need numeric "
+                          "fault_rate and goodput_retained")
+            continue
+        policy = name[len("chaos_"):].rsplit("_", 1)[0]
+        if rate > 0:
+            per_policy.setdefault(policy, set()).add(rate)
+    curves = {p: rates for p, rates in per_policy.items()
+              if len(rates) >= MIN_CHAOS_POINTS}
+    if len(curves) < MIN_CHAOS_POLICIES:
+        errors.append(
+            f"$.benches: pr9 needs >= {MIN_CHAOS_POLICIES} policies with "
+            f">= {MIN_CHAOS_POINTS} nonzero fault-rate points each, found "
+            f"{ {p: len(r) for p, r in sorted(per_policy.items())} }")
 
 
 def _load(path: Path) -> dict:
@@ -167,6 +207,26 @@ def cmd_gate(args) -> int:
             failures.append(
                 f"{name}: speedup {got:.2f}x fell more than "
                 f"{args.tolerance:.0%} below the committed {ratio:.2f}x")
+    for name, base in sorted(baseline["benches"].items()):
+        retained = base.get("goodput_retained")
+        if retained is None:
+            continue
+        bench = fresh["benches"].get(name)
+        if bench is None or "goodput_retained" not in bench:
+            failures.append(f"{name}: missing from the fresh record")
+            continue
+        got = bench["goodput_retained"]
+        # Chaos runs are seeded and deterministic, so goodput_retained
+        # must *reproduce*, not merely stay above a floor.
+        drift = abs(got - retained) / max(abs(retained), 1e-12)
+        status = "ok" if drift <= args.chaos_tolerance else "DRIFT"
+        print(f"  {name:28s} baseline {retained:8.4f}  fresh {got:8.4f}  "
+              f"{status}")
+        if drift > args.chaos_tolerance:
+            failures.append(
+                f"{name}: goodput_retained {got:.6f} drifted "
+                f"{drift:.2%} from the committed {retained:.6f} "
+                "(seeded chaos runs must reproduce)")
     if failures:
         for failure in failures:
             print(f"GATE  {failure}", file=sys.stderr)
@@ -190,6 +250,10 @@ def main(argv=None) -> int:
     p_gate.add_argument("--min-speedup", type=float, default=1.5,
                         help="committed ratios below this are tracked but "
                              "not gated (default 1.5)")
+    p_gate.add_argument("--chaos-tolerance", type=float, default=1e-6,
+                        help="allowed relative drift in goodput_retained "
+                             "(seeded chaos runs are deterministic; "
+                             "default 1e-6)")
     p_gate.set_defaults(fn=cmd_gate)
     args = parser.parse_args(argv)
     return args.fn(args)

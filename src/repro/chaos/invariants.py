@@ -1,0 +1,132 @@
+"""Invariants a policy must hold under fault injection.
+
+A policy surviving a chaos scenario is not the same as a policy
+behaving well under it.  These checks pin the behavioral contract:
+
+* **work conservation** — whenever at least one application is up and
+  holding processors, the allocation uses the whole instantaneous
+  pool (an elastic platform is no excuse to idle processors);
+* **pool ceiling** — the in-use total never exceeds the instantaneous
+  pool (shrinking the platform must actually shrink the allocation);
+* **no starvation** — while foreground and background classes are both
+  runnable (and nobody is down), the background classes collectively
+  hold at least their guaranteed ``low_share`` floor of the pool;
+* **completion** — every application finishes, at or after its
+  arrival, and the final probe sample reports no outstanding work.
+
+:func:`check_invariants` runs all of them against a
+:class:`~repro.chaos.runner.ChaosResult` and returns an
+:class:`InvariantReport` listing every violation with its timestamp —
+empty means the contract held.  The scenario corpus
+(``tests/chaos/scenarios/``) and the CI smoke job are built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .injector import pool_at
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import ChaosResult
+
+__all__ = ["InvariantReport", "check_invariants"]
+
+#: Relative slack for the conservation / ceiling / floor comparisons —
+#: loose enough to absorb the kernel's accumulated ulps, far tighter
+#: than any real violation.
+_REL_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """Outcome of :func:`check_invariants`.
+
+    ``failures`` carries one human-readable line per violation;
+    ``checked`` counts the individual comparisons made (a report that
+    checked nothing is suspicious, not reassuring).
+    """
+
+    failures: list[str] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def assert_ok(self) -> None:
+        if self.failures:
+            raise AssertionError(
+                "chaos invariants violated:\n  " + "\n  ".join(self.failures))
+
+
+def check_invariants(result: "ChaosResult") -> InvariantReport:
+    """Audit a chaos run against the behavioral contract above."""
+    failures: list[str] = []
+    checked = 0
+    timeline = result.pool_timeline
+    low_share = result.faults.low_share
+
+    # Pool ceiling: every kernel allocation sample.
+    for t, used in result.processor_usage:
+        checked += 1
+        pool = pool_at(timeline, t)
+        if used > pool * (1.0 + _REL_SLACK):
+            failures.append(
+                f"t={t:.6g}: {used:.6g} processors in use exceeds the "
+                f"instantaneous pool {pool:.6g}")
+
+    for s in result.probe:
+        # The sample's own pool field is the instantaneous pool the
+        # injector saw when scraping (== pool_at(timeline, s.time) for
+        # live ticks, reconstructed for idle-gap ticks).
+        pool = s.pool
+        # Work conservation: someone is up and running, so the whole
+        # pool must be working.
+        if s.running > 0:
+            checked += 1
+            if s.procs_in_use < pool * (1.0 - _REL_SLACK):
+                failures.append(
+                    f"t={s.time:.6g}: only {s.procs_in_use:.6g} of "
+                    f"{pool:.6g} processors in use with {s.running} "
+                    "applications running (not work-conserving)")
+        # No starvation: both classes runnable, nobody down — the
+        # background floor must hold.  (Samples with an application
+        # down are skipped: the probe cannot see which class it is.)
+        if (len(s.class_active) > 1 and s.down == 0
+                and s.class_active[0] > 0 and sum(s.class_active[1:]) > 0):
+            checked += 1
+            bg_procs = sum(s.class_procs[1:])
+            floor = low_share * pool
+            if bg_procs < floor * (1.0 - _REL_SLACK):
+                failures.append(
+                    f"t={s.time:.6g}: background classes hold "
+                    f"{bg_procs:.6g} processors, below their "
+                    f"{floor:.6g} no-starvation floor")
+
+    # Completion: everyone finishes, at or after arrival.
+    finish = result.finish_times
+    arrivals = result.arrival_times
+    checked += 1
+    if not np.all(np.isfinite(finish)):
+        failures.append("some applications never finished")
+    else:
+        late = np.flatnonzero(finish < arrivals)
+        for i in late:
+            failures.append(
+                f"application {i} finished at {finish[i]:.6g}, before "
+                f"its arrival at {arrivals[i]:.6g}")
+        checked += len(arrivals)
+    if len(result.probe):
+        last = result.probe.samples[-1]
+        checked += 1
+        if last.work_remaining > 0.0 or last.active > 0:
+            failures.append(
+                f"final probe sample (t={last.time:.6g}) still reports "
+                f"{last.work_remaining:.6g} outstanding operations across "
+                f"{last.active} active applications")
+
+    return InvariantReport(failures=failures, checked=checked)

@@ -114,6 +114,18 @@ def build_parser() -> argparse.ArgumentParser:
              "poisson:rate=R[,burst=B,period=P], trace:PATH "
              "(rates are arrivals per model time unit; NPB-scale workloads "
              "run ~1e8-1e9 time units, so e.g. poisson:rate=5e-9)")
+    onl.add_argument(
+        "--faults", default="none",
+        help="fault spec: none, churn:period=P[,drop=D,min=F,max=G], "
+             "crash:hazard=H,delay=R[,lost=L], "
+             "preempt:period=P,duration=D[,victims=K], "
+             "classes:count=K[,share=S] — combined with '+'. Times share "
+             "the model's units (NPB-scale runs span ~1e10-1e12), so e.g. "
+             "churn:period=2e10+crash:hazard=2e-11,delay=1e9")
+    onl.add_argument(
+        "--probe-interval", type=float, default=None,
+        help="metric-probe cadence in model time units "
+             "(default: fault horizon / 128; only used with --faults)")
     onl.add_argument("--seed", type=int, default=2017)
 
     val = sub.add_parser("validate",
@@ -316,13 +328,24 @@ def _cmd_online(args) -> int:
     rng = np.random.default_rng(args.seed)
     workload = generate(args.dataset, args.napps, rng)
     platform = get_preset(args.platform)
-    # One seeded stream drives workload, arrivals, and any randomized
-    # policy in sequence — the whole scenario replays from --seed.
+    # One seeded stream drives workload, arrivals, faults, and any
+    # randomized policy in sequence — the whole scenario replays from
+    # --seed.
     arrivals = source.times(args.napps, rng)
-    result = simulate_online(workload, platform, arrivals,
-                             policy=args.policy, rng=rng)
+    faulty = args.faults.strip().lower() not in ("", "none")
+    if faulty:
+        from .chaos import check_invariants, run_chaos
+
+        result = run_chaos(workload, platform, arrivals,
+                           faults=args.faults, policy=args.policy,
+                           fault_rng=rng, rng=rng,
+                           probe_interval=args.probe_interval)
+    else:
+        result = simulate_online(workload, platform, arrivals,
+                                 policy=args.policy, rng=rng)
     print(f"{args.policy} on {platform.name}: {args.napps} apps, "
-          f"arrivals {args.arrivals}")
+          f"arrivals {args.arrivals}"
+          + (f", faults {args.faults}" if faulty else ""))
     rows = [
         [name, arr, fin, flow]
         for name, arr, fin, flow in zip(
@@ -335,6 +358,19 @@ def _cmd_online(args) -> int:
     print(f"mean flow: {result.mean_flow:.6g}")
     print(f"max flow:  {result.max_flow:.6g}")
     print(f"events:    {result.events}")
+    if faulty:
+        report = check_invariants(result)
+        print(f"goodput:   {result.goodput:.6g}")
+        print(f"faults:    {result.crashes} crashes, "
+              f"{result.preemptions} preemptions, "
+              f"{result.dropped_faults} dropped, "
+              f"lost work {result.lost_work:.6g}")
+        print(f"pool:      {len(result.pool_timeline) - 1} churn events, "
+              f"probe samples {len(result.probe)}")
+        print("invariants: " + ("ok" if report.ok else "VIOLATED"))
+        for line in report.failures:
+            print(f"  {line}")
+        return 0 if report.ok else 1
     return 0
 
 

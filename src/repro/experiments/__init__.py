@@ -15,6 +15,7 @@ from .figures import (
     build_figure,
     figure_ids,
 )
+from .chaos import CHAOS_METRICS, build_chaos_experiment
 from .online import ONLINE_METRICS, build_online_experiment
 from .results import MAKESPAN, ExperimentResult
 from .runner import DEFAULT_METRICS, Experiment, run_experiment
@@ -45,6 +46,8 @@ __all__ = [
     "render_result",
     "ONLINE_METRICS",
     "build_online_experiment",
+    "CHAOS_METRICS",
+    "build_chaos_experiment",
     "ProfiledBenchmark",
     "regenerate_table2",
 ]

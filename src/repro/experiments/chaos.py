@@ -1,0 +1,112 @@
+"""Fault-injection experiments on the experiment grid.
+
+The chaos analogue of :mod:`repro.experiments.online`: an
+:class:`~repro.experiments.runner.Experiment` whose ``evaluate`` hook
+runs :func:`repro.chaos.run_chaos` under a generated arrival stream
+*and* a compiled fault stream.  The grid, the serial/process backends,
+and the tiered on-disk result cache all apply unchanged, so a
+resilience sweep is bit-identical across backends and cacheable like
+any figure.
+
+Seed discipline (the part that makes policy curves comparable): both
+the arrival stream and the fault stream are drawn from the per-cell
+*scenario* generator — shared by every policy at the same
+``(rep, point)`` cell — in a fixed order (arrivals first, then
+faults), so every policy at a cell faces the identical arrivals and
+the identical compiled faults.  Randomized registry policies consume
+the separate per-policy stream, which cannot perturb the scenario.
+
+Example::
+
+    from repro.experiments.chaos import build_chaos_experiment
+    from repro.experiments.runner import run_experiment
+
+    exp = build_chaos_experiment(
+        faults="churn:period=2e8+crash:hazard=4e-9,delay=5e7",
+        policies=("dominant", "fair"),
+        napps_points=(4, 8, 16),
+    )
+    result = run_experiment(exp, backend="process")
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chaos.faults import parse_fault_spec
+from ..chaos.runner import estimate_horizon, run_chaos
+from ..machine.presets import get_preset
+from ..online.arrivals import parse_arrival_spec
+from ..workloads.synthetic import generate
+from .runner import Experiment
+
+__all__ = ["CHAOS_METRICS", "build_chaos_experiment"]
+
+#: Metrics recorded per (policy, rep, point) cell.
+CHAOS_METRICS: tuple[str, ...] = (
+    "makespan", "mean_flow", "max_flow", "goodput",
+    "peak_processors", "crashes", "preemptions", "lost_work",
+)
+
+
+def build_chaos_experiment(
+    *,
+    faults: str,
+    arrivals: str = "poisson:rate=5e-9",
+    policies: tuple[str, ...] = ("dominant", "fair", "fcfs"),
+    napps_points: tuple[int, ...] = (4, 8, 16),
+    dataset: str = "npb-synth",
+    platform: str = "taihulight",
+    reps: int = 5,
+    seed: int = 2017,
+    probe_samples: int = 256,
+) -> Experiment:
+    """Declare a resilience sweep: policies x #applications x reps.
+
+    Parameters
+    ----------
+    faults : str
+        Fault spec (see :func:`repro.chaos.parse_fault_spec`); parsed
+        per evaluation so the experiment fingerprint depends only on
+        the spec string.  ``"none"`` degrades to a clean online sweep
+        with chaos metrics.
+    arrivals : str
+        Arrival spec (:func:`repro.online.arrivals.parse_arrival_spec`).
+    policies, napps_points, dataset, platform, reps, seed
+        As in :func:`repro.experiments.online.build_online_experiment`.
+    probe_samples : int
+        Probe budget per run (cells are small; 256 keeps the cadence
+        fine without inflating the kernel's event budget).
+    """
+    parse_fault_spec(faults)      # fail fast on bad specs
+    parse_arrival_spec(arrivals)
+
+    def factory(point, rng):
+        return generate(dataset, int(point), rng), get_preset(platform)
+
+    def evaluate(workload, platform_obj, policy, scenario_rng, policy_rng):
+        # Scenario draws in fixed order: arrivals, then faults — every
+        # policy at this cell sees both streams identically.
+        stream = parse_arrival_spec(arrivals).times(workload.n, scenario_rng)
+        horizon = estimate_horizon(workload, platform_obj, stream)
+        compiled = parse_fault_spec(faults).compile(
+            workload.n, platform_obj.p, horizon, scenario_rng)
+        res = run_chaos(
+            workload, platform_obj, stream,
+            faults=compiled, policy=policy, rng=policy_rng,
+            horizon=horizon, max_samples=probe_samples,
+        )
+        return res.metrics()
+
+    return Experiment(
+        experiment_id=f"chaos-{dataset}",
+        title=f"online policies under {faults} faults ({dataset})",
+        xlabel="Applications",
+        points=np.asarray(napps_points, dtype=np.float64),
+        factory=factory,
+        schedulers=tuple(policies),
+        metrics={name: None for name in CHAOS_METRICS},
+        reps=reps,
+        seed=seed,
+        evaluate=evaluate,
+    )

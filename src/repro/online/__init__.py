@@ -10,9 +10,16 @@ from .arrivals import (
     TraceSource,
     parse_arrival_spec,
 )
-from .engine import BUILTIN_POLICIES, OnlineResult, simulate_online
+from .engine import (
+    BUILTIN_POLICIES,
+    OnlineResult,
+    arrival_order,
+    make_policy_allocator,
+    simulate_online,
+)
 
 __all__ = ["remaining_equal_finish", "BUILTIN_POLICIES", "OnlineResult",
-           "simulate_online", "ARRIVAL_KINDS", "ArrivalSource", "BatchSource",
+           "simulate_online", "arrival_order", "make_policy_allocator",
+           "ARRIVAL_KINDS", "ArrivalSource", "BatchSource",
            "ConstantRate", "PoissonProcess", "TraceSource",
            "parse_arrival_spec"]

@@ -47,7 +47,7 @@ completion and flow times per application, makespan, mean/max flow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -57,11 +57,17 @@ from ..core.execution import access_cost_factor
 from ..core.heuristics import evict_until_dominant
 from ..core.platform import Platform
 from ..core.registry import get_entry, scheduler_names
-from ..simulate.kernel import run_phase_kernel
+from ..simulate.kernel import EventLog, run_phase_kernel
 from ..types import ModelError
 from .allocation import remaining_equal_finish
 
-__all__ = ["OnlineResult", "simulate_online", "BUILTIN_POLICIES"]
+__all__ = [
+    "OnlineResult",
+    "simulate_online",
+    "BUILTIN_POLICIES",
+    "arrival_order",
+    "make_policy_allocator",
+]
 
 #: The hand-rolled event-loop policies; any other name is resolved
 #: through the scheduler registry.
@@ -83,12 +89,31 @@ class OnlineResult:
         Number of reallocation events processed.
     policy : str
         The policy simulated.
+    processor_usage : list[tuple[float, float]]
+        ``(time, processors in use)`` sampled at every reallocation —
+        the same public timeline :class:`repro.simulate.SimulationResult`
+        exposes, so chaos probes and invariant checks can audit the
+        online path too.  Each total holds until the next sample.
+    log : EventLog
+        The kernel's typed event log for the run (arrivals,
+        phase exits, completions — plus fault events when the run is
+        driven through :mod:`repro.chaos`).
     """
 
     arrival_times: np.ndarray
     finish_times: np.ndarray
     events: int
     policy: str
+    processor_usage: list[tuple[float, float]] = field(
+        default_factory=list, repr=False)
+    log: EventLog = field(default_factory=EventLog, repr=False)
+
+    @property
+    def peak_processors(self) -> float:
+        """Largest simultaneous in-use total over the run."""
+        if not self.processor_usage:
+            return 0.0
+        return max(used for _, used in self.processor_usage)
 
     @property
     def flow_times(self) -> np.ndarray:
@@ -225,6 +250,47 @@ def _allocate(
     )
 
 
+def arrival_order(arrival_times) -> np.ndarray:
+    """Stable arrival ranks (ties broken by index) for fcfs policies."""
+    arrivals = np.asarray(arrival_times, dtype=np.float64)
+    return np.argsort(np.argsort(arrivals, kind="stable")).astype(np.float64)
+
+
+def make_policy_allocator(
+    workload: Workload,
+    platform: Platform,
+    policy: Policy,
+    *,
+    fcfs_order: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+):
+    """Build the kernel ``allocate`` hook for a reallocation policy.
+
+    Returns a closure ``allocate(now, active, seq_left, par_left) ->
+    (procs, factors)`` mapping the policy's ``(procs, cache)`` decision
+    over the active set into the event kernel's convention (Eq. 2
+    access-cost factors).  This is the single policy seam shared by
+    :func:`simulate_online` and the fault injector
+    (:class:`repro.chaos.FaultInjector`), which wraps the returned
+    hook rather than re-deriving the policies.
+
+    *fcfs_order* carries the stable arrival ranks the ``"fcfs"``
+    builtin serializes by (see :func:`arrival_order`); it defaults to
+    index order.
+    """
+    if fcfs_order is None:
+        fcfs_order = np.arange(workload.n, dtype=np.float64)
+
+    def allocate(now, active, seq_left, par_left):
+        procs, cache = _allocate(
+            workload, platform, active, seq_left, par_left, policy,
+            fcfs_order, rng,
+        )
+        return procs, access_cost_factor(workload, platform, cache)
+
+    return allocate
+
+
 def simulate_online(
     workload: Workload,
     platform: Platform,
@@ -246,14 +312,10 @@ def simulate_online(
     if np.any(arrivals < 0):
         raise ModelError("arrival times must be >= 0")
 
-    fcfs_order = np.argsort(np.argsort(arrivals, kind="stable")).astype(np.float64)
-
-    def allocate(now, active, seq_left, par_left):
-        procs, cache = _allocate(
-            workload, platform, active, seq_left, par_left, policy,
-            fcfs_order, rng,
-        )
-        return procs, access_cost_factor(workload, platform, cache)
+    allocate = make_policy_allocator(
+        workload, platform, policy,
+        fcfs_order=arrival_order(arrivals), rng=rng,
+    )
 
     result = run_phase_kernel(
         workload.work,
@@ -270,4 +332,6 @@ def simulate_online(
         finish_times=result.finish_times,
         events=result.events,
         policy=policy,
+        processor_usage=result.usage,
+        log=result.log,
     )

@@ -109,8 +109,14 @@ def at_or_before(value, boundary, *, scale=None):
 
 
 #: Event kinds the kernel emits, in the order they can occur at one
-#: instant: completions and phase exits before admissions.
-EVENT_KINDS: tuple[str, ...] = ("seq-done", "done", "arrival", "drop")
+#: instant: completions and phase exits before admissions.  The tail
+#: kinds are the fault-injection events of :mod:`repro.chaos` —
+#: appended (never reordered) because the queue kernel's chronological
+#: merge keys on each kind's index in this tuple.
+EVENT_KINDS: tuple[str, ...] = (
+    "seq-done", "done", "arrival", "drop",
+    "proc_join", "proc_leave", "crash", "restart", "preempt",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -154,12 +160,47 @@ class EventLog:
     def events(self) -> tuple[Event, ...]:
         return tuple(self._events)
 
+    def since(self, start: int) -> list[Event]:
+        """Events appended at or after position *start*.
+
+        A cheap slice for incremental consumers (the chaos probes poll
+        this once per allocation; materializing :attr:`events` there
+        would be quadratic in the run length).
+        """
+        return self._events[start:]
+
+    def sort(self) -> None:
+        """Stable chronological re-order.
+
+        The kernel itself appends in time order, but a consumer
+        logging exogenous events lazily (the chaos injector's
+        idle-gap catch-up) can append an event stamped earlier than
+        one already recorded at the same allocation instant; one
+        stable sort at the end restores the global order without
+        touching same-instant insertion order.
+        """
+        self._events.sort(key=lambda e: e.time)
+
     def select(self, *kinds: str) -> tuple[Event, ...]:
-        """Events of the given kinds, in log order."""
+        """Events of the given kinds, in log order.
+
+        Unknown kinds raise :class:`~repro.types.ModelError`: a filter
+        naming a kind outside :data:`EVENT_KINDS` would silently match
+        nothing, which hid typos while the registered set was four
+        entries and is outright dangerous now that fault injection adds
+        five more.
+        """
+        for kind in kinds:
+            if kind not in EVENT_KINDS:
+                raise ModelError(
+                    f"unknown event kind {kind!r}; known: {EVENT_KINDS}")
         return tuple(e for e in self._events if e.kind in kinds)
 
     def as_tuples(self, *kinds: str) -> list[tuple[float, str, int]]:
-        """Legacy ``(time, kind, index)`` view, optionally filtered."""
+        """Legacy ``(time, kind, index)`` view, optionally filtered.
+
+        Like :meth:`select`, raises on kinds not in :data:`EVENT_KINDS`.
+        """
         selected = self.select(*kinds) if kinds else self._events
         return [e.as_tuple() for e in selected]
 
@@ -183,6 +224,14 @@ AllocateFn = Callable[
 #: masks the applications still unfinished (arrived or not).  A
 #: work-conserving adapter mutates its processor array here.
 CompleteFn = Callable[[int, float, np.ndarray], None]
+
+#: Exogenous timeline hook: ``timeline(now) -> float`` returns the next
+#: instant strictly after *now* at which something outside the model
+#: happens (a fault event, a metric-probe tick), or ``inf`` when none
+#: is pending.  The kernel never advances the clock past it, so the
+#: ``allocate`` hook is guaranteed to run at (within the canonical
+#: tolerance of) every exogenous instant while work is in flight.
+TimelineFn = Callable[[float], float]
 
 
 @dataclass(frozen=True)
@@ -220,6 +269,7 @@ def run_phase_kernel(
     allocate: AllocateFn,
     arrivals: np.ndarray | None = None,
     on_complete: CompleteFn | None = None,
+    timeline: TimelineFn | None = None,
     max_events: int | None = None,
     budget_message: str = "simulation exceeded its event budget",
     log: EventLog | None = None,
@@ -247,6 +297,14 @@ def run_phase_kernel(
         events at all, not even at ``t == 0``).
     on_complete : CompleteFn, optional
         Invoked when an application finishes, before the next event.
+    timeline : TimelineFn, optional
+        Source of exogenous breakpoints (fault events, probe ticks):
+        while work is in flight the step never crosses
+        ``timeline(now)``, so ``allocate`` observes every exogenous
+        instant.  During an idle gap (nothing arrived and unfinished)
+        the clock still jumps straight to the next arrival — exogenous
+        state is owned by the caller, who applies idle-gap events
+        lazily (see :class:`repro.chaos.FaultInjector`).
     max_events : int, optional
         Event budget; exceeding it raises :class:`ModelError` with
         *budget_message*.  Defaults to ``20 * n + 10``.
@@ -310,7 +368,13 @@ def run_phase_kernel(
         running = active & (rate > 0.0)
         dt_finish = np.full(n, np.inf)
         dt_finish[running] = remaining[running] / rate[running]
-        dt = min(float(dt_finish.min()), next_arrival - now)
+        next_exo = np.inf if timeline is None else float(timeline(now))
+        dt = min(float(dt_finish.min()), next_arrival - now, next_exo - now)
+        if not np.isfinite(dt):
+            raise ModelError(
+                "kernel stalled: no running application, pending arrival, "
+                "or exogenous event can advance the clock"
+            )
         dt = max(dt, 0.0)
         now += dt
 

@@ -1,0 +1,43 @@
+"""Fixtures for the chaos (fault-injection) test suite.
+
+The shared scenario is deliberately small and hand-built — six
+applications of ~1e9 operations on a 64-processor platform — so every
+chaos run finishes in well under a second while still exercising
+arrivals, churn, crashes, preemption, and priority classes together.
+Fault parameters are scaled to the scenario's ~1e10 time span.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Application, Platform, Workload
+
+#: A combined fault spec touching every source, scaled to the scenario.
+STRESS_SPEC = ("churn:period=3e8,drop=0.25"
+               "+crash:hazard=2e-9,delay=1e8"
+               "+preempt:period=5e8,duration=1e8,victims=2"
+               "+classes:count=2,share=0.25")
+
+
+@pytest.fixture
+def chaos_workload() -> Workload:
+    return Workload([
+        Application(name=f"a{i}", work=1e9 * (1 + i % 3),
+                    seq_fraction=0.02 * (i % 4),
+                    access_freq=0.3 + 0.1 * (i % 5),
+                    footprint=2 ** 20 * (1 + i))
+        for i in range(6)
+    ])
+
+
+@pytest.fixture
+def chaos_platform() -> Platform:
+    return Platform(p=64.0, cache_size=2 ** 25, latency_cache=0.17,
+                    latency_memory=1.0, alpha=0.5, name="chaos-64")
+
+
+@pytest.fixture
+def chaos_arrivals(chaos_workload) -> np.ndarray:
+    return np.linspace(0.0, 3e8, chaos_workload.n)

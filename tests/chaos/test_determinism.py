@@ -1,0 +1,81 @@
+"""Determinism contract: same fault seed, same bytes, any backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos import run_chaos
+from repro.experiments import build_chaos_experiment, run_experiment
+from repro.online import simulate_online
+
+from .conftest import STRESS_SPEC
+
+
+def _run(workload, platform, arrivals, **kw):
+    return run_chaos(workload, platform, arrivals, faults=STRESS_SPEC,
+                     policy=kw.pop("policy", "dominant"),
+                     fault_rng=np.random.default_rng(kw.pop("seed", 42)),
+                     **kw)
+
+
+class TestRepeatedRuns:
+    def test_same_seed_identical_timelines(
+            self, chaos_workload, chaos_platform, chaos_arrivals):
+        a = _run(chaos_workload, chaos_platform, chaos_arrivals)
+        b = _run(chaos_workload, chaos_platform, chaos_arrivals)
+        assert a.log.as_tuples() == b.log.as_tuples()
+        assert a.probe.as_rows() == b.probe.as_rows()
+        assert np.array_equal(a.finish_times, b.finish_times)
+        assert a.pool_timeline == b.pool_timeline
+
+    def test_different_fault_seed_different_run(
+            self, chaos_workload, chaos_platform, chaos_arrivals):
+        a = _run(chaos_workload, chaos_platform, chaos_arrivals, seed=1)
+        b = _run(chaos_workload, chaos_platform, chaos_arrivals, seed=2)
+        assert a.log.as_tuples() != b.log.as_tuples()
+
+    def test_identical_stream_across_policies(
+            self, chaos_workload, chaos_platform, chaos_arrivals):
+        """Two policies under the same fault seed face the same
+        compiled stream (the per-cell RNG discipline)."""
+        a = _run(chaos_workload, chaos_platform, chaos_arrivals,
+                 policy="dominant")
+        b = _run(chaos_workload, chaos_platform, chaos_arrivals,
+                 policy="fair")
+        assert a.faults.events == b.faults.events
+
+
+class TestCleanRunMatchesOnlineEngine:
+    def test_no_faults_reduces_to_simulate_online(
+            self, chaos_workload, chaos_platform, chaos_arrivals):
+        """With an empty fault stream the injector is a pass-through.
+
+        Probe ticks split the kernel's clock steps, so dt accumulation
+        differs at the last-ulp level — tight rtol, not bit equality.
+        """
+        chaos = run_chaos(chaos_workload, chaos_platform, chaos_arrivals,
+                          faults="none", policy="dominant")
+        online = simulate_online(chaos_workload, chaos_platform,
+                                 chaos_arrivals, policy="dominant")
+        np.testing.assert_allclose(chaos.finish_times, online.finish_times,
+                                   rtol=1e-9)
+        assert chaos.makespan == pytest.approx(online.makespan, rel=1e-9)
+
+
+class TestBackends:
+    def test_grid_bit_identical_serial_vs_process(self):
+        """The acceptance bar: the chaos experiment grid is
+        byte-identical between the in-process and fork-pool backends
+        (fault streams are compiled per cell, never shared state)."""
+        exp = build_chaos_experiment(
+            faults="churn:period=2e10,drop=0.25+crash:hazard=1e-11,delay=1e9",
+            policies=("dominant", "fair"),
+            napps_points=(4,), reps=2, probe_samples=64)
+        serial = run_experiment(exp, backend="serial", use_cache=False)
+        process = run_experiment(exp, backend="process", use_cache=False)
+        for scheduler in serial.data:
+            for metric, grid in serial.data[scheduler].items():
+                assert np.array_equal(
+                    grid, process.data[scheduler][metric]), (
+                    f"{scheduler}/{metric} differs across backends")

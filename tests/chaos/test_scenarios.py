@@ -1,0 +1,95 @@
+"""The numbered chaos scenario corpus.
+
+Each ``scenarios/NN-*.json`` file is a declarative spec: workload,
+platform, arrival process, fault spec string, fault seed, the policies
+it must hold for, and the expectations.  Every scenario always runs
+the full invariant contract (:func:`repro.chaos.check_invariants`);
+the ``expect`` block adds scenario-specific teeth:
+
+``min_crashes`` / ``min_preemptions``
+    The fault stream must actually bite (per policy).
+``min_pool_changes``
+    The pool trajectory must move at least this many times.
+``min_classes``
+    The compiled class assignment must populate this many classes.
+``deterministic``
+    Run the scenario twice; event log and probe rows must be
+    byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.chaos import check_invariants, estimate_horizon, parse_fault_spec, run_chaos
+from repro.machine.presets import get_preset
+from repro.online.arrivals import parse_arrival_spec
+from repro.workloads.synthetic import generate
+
+SCENARIO_DIR = Path(__file__).parent / "scenarios"
+SCENARIOS = sorted(SCENARIO_DIR.glob("*.json"))
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def _build(spec: dict):
+    wl = spec["workload"]
+    rng = np.random.default_rng(wl["seed"])
+    workload = generate(wl["dataset"], wl["n"], rng)
+    platform = get_preset(spec["platform"])
+    if spec.get("arrivals"):
+        arrivals = parse_arrival_spec(spec["arrivals"]).times(wl["n"], rng)
+    else:
+        arrivals = np.zeros(wl["n"])
+    horizon = estimate_horizon(workload, platform, arrivals)
+    compiled = parse_fault_spec(spec["faults"]).compile(
+        wl["n"], platform.p, horizon,
+        np.random.default_rng(spec["fault_seed"]))
+    return workload, platform, arrivals, horizon, compiled
+
+
+def test_corpus_is_complete():
+    """Five numbered scenarios, ids matching their filenames."""
+    assert len(SCENARIOS) == 5
+    ids = [_load(p)["id"] for p in SCENARIOS]
+    assert ids == [1, 2, 3, 4, 5]
+    for path, sid in zip(SCENARIOS, ids):
+        assert path.name.startswith(f"{sid:02d}-")
+
+
+@pytest.mark.parametrize("path", SCENARIOS, ids=lambda p: p.stem)
+def test_scenario(path):
+    spec = _load(path)
+    workload, platform, arrivals, horizon, compiled = _build(spec)
+    expect = spec.get("expect", {})
+
+    if "min_classes" in expect:
+        assert compiled.classes is not None
+        assert len(np.unique(compiled.classes)) >= expect["min_classes"]
+
+    for policy in spec["policies"]:
+        result = run_chaos(workload, platform, arrivals,
+                           faults=compiled, policy=policy, horizon=horizon)
+        check_invariants(result).assert_ok()
+        assert np.all(np.isfinite(result.finish_times)), (
+            f"{path.name}/{policy}: unfinished applications")
+        if "min_crashes" in expect:
+            assert result.crashes >= expect["min_crashes"], (
+                f"{path.name}/{policy}: only {result.crashes} crashes")
+        if "min_preemptions" in expect:
+            assert result.preemptions >= expect["min_preemptions"], (
+                f"{path.name}/{policy}: only {result.preemptions} preemptions")
+        if "min_pool_changes" in expect:
+            assert len(result.pool_timeline) - 1 >= expect["min_pool_changes"]
+        if expect.get("deterministic"):
+            again = run_chaos(workload, platform, arrivals,
+                              faults=compiled, policy=policy,
+                              horizon=horizon)
+            assert again.log.as_tuples() == result.log.as_tuples()
+            assert again.probe.as_rows() == result.probe.as_rows()

@@ -276,3 +276,32 @@ class TestRegistryPolicies:
     def test_unknown_policy_error_names_builtins(self, wl, pf):
         with pytest.raises(ModelError, match="dominant, fair, fcfs"):
             simulate_online(wl, pf, np.zeros(10), policy="dominannt")
+
+
+class TestPublicTimelines:
+    """OnlineResult exposes the kernel's usage timeline and event log."""
+
+    def test_processor_usage_and_log(self, wl, pf):
+        arrivals = np.linspace(0.0, 1e10, 10)
+        res = simulate_online(wl, pf, arrivals, policy="dominant")
+        assert res.processor_usage, "usage timeline must be populated"
+        times = [t for t, _ in res.processor_usage]
+        assert times == sorted(times)
+        assert res.peak_processors <= pf.p * (1 + 1e-9)
+        assert res.peak_processors == max(u for _, u in res.processor_usage)
+        assert len(res.log.select("done")) == 10
+        assert len(res.log.select("arrival")) == 10
+
+    def test_work_conserving_policies_use_whole_machine(self, wl, pf):
+        res = simulate_online(wl, pf, np.zeros(10), policy="fair")
+        # the kernel takes one bootstrap sample before admitting the
+        # t=0 arrivals; from then on every allocation uses the machine
+        first, rest = res.processor_usage[0], res.processor_usage[1:]
+        assert first == (0.0, 0.0)
+        assert rest and all(u == pytest.approx(pf.p) for _, u in rest)
+
+    def test_empty_result_peak_is_zero(self):
+        from repro.online.engine import OnlineResult
+        res = OnlineResult(arrival_times=np.zeros(1), finish_times=np.ones(1),
+                           events=0, policy="x")
+        assert res.peak_processors == 0.0

@@ -7,6 +7,7 @@ import pytest
 
 from repro.simulate.kernel import (
     ABS_TOL,
+    EVENT_KINDS,
     REL_TOL,
     Event,
     EventLog,
@@ -67,6 +68,36 @@ class TestEventLog:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ModelError):
             EventLog().record(0.0, "meteor", 0)
+
+    def test_select_rejects_unknown_kind(self):
+        """A filter naming a kind outside EVENT_KINDS is a typo, not an
+        empty result."""
+        log = EventLog()
+        log.record(1.0, "done", 0)
+        with pytest.raises(ModelError, match="unknown event kind"):
+            log.select("dne")
+        with pytest.raises(ModelError, match="unknown event kind"):
+            log.as_tuples("crashh")
+
+    def test_fault_kinds_registered(self):
+        """The chaos subsystem's kinds are first-class log citizens."""
+        log = EventLog()
+        for kind in ("proc_join", "proc_leave", "crash", "restart", "preempt"):
+            assert kind in EVENT_KINDS
+            log.record(1.0, kind, -1)
+        assert [e.kind for e in log.select("crash", "restart")] == [
+            "crash", "restart"]
+        # Appended after the original four: the queue kernel's
+        # chronological merge keys on tuple position.
+        assert EVENT_KINDS.index("proc_join") > EVENT_KINDS.index("drop")
+
+    def test_since_is_incremental(self):
+        log = EventLog()
+        log.record(1.0, "done", 0)
+        cursor = len(log)
+        log.record(2.0, "done", 1)
+        assert [e.index for e in log.since(cursor)] == [1]
+        assert log.since(len(log)) == []
 
 
 def _fixed_allocation(procs, factors):
@@ -172,6 +203,65 @@ class TestPhaseKernel:
         )
         # exactly one seq-done and one done, no zero-length phantom events
         assert [e.kind for e in res.log] == ["seq-done", "done"]
+
+
+class TestTimelineHook:
+    def test_allocate_runs_at_exogenous_instants(self):
+        """The clock never steps across timeline(now) while work is in
+        flight, so allocate observes every exogenous breakpoint."""
+        breakpoints = iter([3.0, 7.0, np.inf])
+        nxt = [3.0]
+
+        def timeline(now):
+            while at_or_before(nxt[0], now):
+                nxt[0] = next(breakpoints)
+            return nxt[0]
+
+        seen = []
+
+        def allocate(now, active, seq_left, par_left):
+            seen.append(now)
+            return np.array([1.0]), np.array([1.0])
+
+        res = run_phase_kernel(
+            np.array([10.0]), np.zeros(1), np.array([10.0]),
+            allocate=allocate, timeline=timeline,
+        )
+        assert res.finish_times[0] == pytest.approx(10.0)
+        assert seen[0] == 0.0
+        assert 3.0 in [pytest.approx(t) for t in seen]
+        assert 7.0 in [pytest.approx(t) for t in seen]
+
+    def test_stall_without_any_advance_raises(self):
+        """All-stalled work with no arrival and no exogenous event is a
+        modeling error, not a NaN factory."""
+
+        def allocate(now, active, seq_left, par_left):
+            return np.zeros(1), np.ones(1)
+
+        with pytest.raises(ModelError, match="stalled"):
+            run_phase_kernel(
+                np.array([10.0]), np.zeros(1), np.array([10.0]),
+                allocate=allocate,
+            )
+
+    def test_exogenous_event_unstalls(self):
+        """A timeline instant can wake a run that is momentarily
+        all-stalled (the chaos injector's crash outages rely on it)."""
+
+        def timeline(now):
+            return 5.0 if now < 5.0 else np.inf
+
+        def allocate(now, active, seq_left, par_left):
+            if now < 5.0:
+                return np.zeros(1), np.ones(1)
+            return np.array([1.0]), np.array([1.0])
+
+        res = run_phase_kernel(
+            np.array([10.0]), np.zeros(1), np.array([10.0]),
+            allocate=allocate, timeline=timeline,
+        )
+        assert res.finish_times[0] == pytest.approx(15.0)
 
 
 class TestQueueKernel:
