@@ -101,15 +101,24 @@ class ContentAddressedStore:
             return None
 
     def entries(self) -> list[Path]:
-        """All entry files, least recently used first (by mtime)."""
+        """All entry files, least recently used first (by mtime).
+
+        Enumeration is fully deterministic: ``glob`` yields in
+        filesystem (inode-history) order, so it is sorted before use,
+        and mtime ties break on the relative path — listings and prune
+        victim order are identical on every machine holding the same
+        entries, never an artifact of directory layout.
+        """
         if not self.cache_dir.is_dir():
             return []
         stamped = []
         for pattern in self.patterns:
-            for path in self.cache_dir.glob(pattern):
+            for path in sorted(self.cache_dir.glob(pattern)):
                 st = self._stat_or_none(path)
                 if st is not None:
-                    stamped.append((st.st_mtime, path.name, path))
+                    stamped.append(
+                        (st.st_mtime, path.relative_to(self.cache_dir).as_posix(),
+                         path))
         return [path for _, _, path in sorted(stamped)]
 
     def size_bytes(self) -> int:

@@ -60,6 +60,7 @@ class TieredCache(Generic[V]):
         self._decode = decode
         self._lock = threading.Lock()
         self._disk_hits = 0
+        self._store_errors = 0
 
     # -- pass-through geometry ---------------------------------------------
     @property
@@ -123,14 +124,28 @@ class TieredCache(Generic[V]):
 
     # -- writes --------------------------------------------------------------
     def put(self, key: str, value: V) -> None:
-        """Write-through: memory now, disk (when attached) durably."""
+        """Write-through: memory now, disk (when attached) durably.
+
+        Persistence is best-effort — a failed encode/store only costs
+        the durable copy, never the served value — but the failure is
+        *counted* (:attr:`store_errors`), not swallowed: a disk tier
+        that silently stopped persisting would look healthy until the
+        next restart arrived cold.
+        """
         self.memory.put(key, value)
         if self.disk is not None:
             try:
                 payload = self._encode(value) if self._encode else value
                 self.disk.put(key, payload)
             except Exception:
-                pass  # persistence is best-effort; the value is served
+                with self._lock:
+                    self._store_errors += 1
+
+    @property
+    def store_errors(self) -> int:
+        """Disk-tier writes that failed (value still served from memory)."""
+        with self._lock:
+            return self._store_errors
 
     def count_hit(self) -> None:
         """Record a hit served on this cache's behalf by a front cache."""

@@ -179,6 +179,19 @@ def build_parser() -> argparse.ArgumentParser:
     req.add_argument("--json", action="store_true",
                      help="print the raw JSON response instead of a table")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & concurrency contract checker")
+    lint.add_argument("paths", nargs="*", type=Path,
+                      help="files or directories (default: src benchmarks)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (json is the CI contract)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and per-path profiles")
+    lint.add_argument("--profile", choices=("strict", "default", "relaxed"),
+                      default=None,
+                      help="force one rule profile instead of per-path mapping")
+
     cache = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     info = cache_sub.add_parser("info", help="show entry count and total bytes")
@@ -485,6 +498,28 @@ def _cmd_request(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .lint import all_rules, lint_paths, render_json, render_text
+    from .lint.config import profile_table
+
+    if args.list_rules:
+        rows = [[r.id, r.name, r.category, r.summary()] for r in all_rules()]
+        print(format_table(["id", "name", "category", "checks for"], rows))
+        print()
+        for profile, ids in profile_table():
+            print(f"profile {profile}: {', '.join(ids)}")
+        return 0
+    paths = args.paths or [Path("src"), Path("benchmarks")]
+    try:
+        report = lint_paths(paths, profile=args.profile)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_cache(args) -> int:
     from .cache import ALL_TIER_PATTERNS, ContentAddressedStore, resolve_cache_dir
 
@@ -539,6 +574,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "serve": _cmd_serve,
         "request": _cmd_request,
+        "lint": _cmd_lint,
         "cache": _cmd_cache,
     }[args.command]
     return handler(args)

@@ -60,7 +60,7 @@ __all__ = ["ResultCache", "PruneReport", "spec_fingerprint",
            "resolve_cache_dir", "CACHE_DIR_ENV"]
 
 #: Bump when the on-disk layout changes; part of every fingerprint.
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 #: Closure values hashed by content; anything else hashes by type only
@@ -87,8 +87,25 @@ def _consts_fingerprint(consts: tuple) -> str:
                 f"{hashlib.sha256(const.co_code).hexdigest()}:"
                 f"{_consts_fingerprint(const.co_consts)}>")
         else:
-            parts.append(repr(const))
+            # Non-code co_consts members are compile-time literals
+            # (str/int/float/tuple-of-literals/...): their reprs are
+            # value-based by construction, never memory addresses.
+            parts.append(repr(const))  # repro-lint: disable=REP106 -- compile-time literals repr by value
     return "(" + ",".join(parts) + ")"
+
+
+def _deeply_atomic(value) -> bool:
+    """True when *value*'s repr is value-based all the way down.
+
+    Containers in :data:`_ATOMIC_TYPES` (tuple, frozenset) are only
+    atomic if every member is — a tuple holding a function would repr
+    by memory address, the exact instability fingerprints must never
+    absorb.
+    """
+    if isinstance(value, (tuple, frozenset)):
+        return all(_deeply_atomic(v) for v in value)
+    return isinstance(value, _ATOMIC_TYPES) and not isinstance(
+        value, (tuple, frozenset))
 
 
 def _callable_fingerprint(fn: Callable, parts: list[str], *, depth: int = 0) -> None:
@@ -104,8 +121,12 @@ def _callable_fingerprint(fn: Callable, parts: list[str], *, depth: int = 0) -> 
         parts.append(hashlib.sha256(code.co_code).hexdigest())
         parts.append(_consts_fingerprint(code.co_consts))
     defaults = getattr(fn, "__defaults__", None)
-    if defaults:
-        parts.append(repr(defaults))
+    if defaults and depth < 3:
+        # Each default through the per-value logic: repr of the whole
+        # tuple would embed memory addresses for callable or object
+        # defaults — the spec_fingerprint bug class all over again.
+        for value in defaults:
+            _value_fingerprint(value, parts, depth=depth + 1)
     closure = getattr(fn, "__closure__", None)
     if closure and depth < 3:
         for cell in closure:
@@ -114,14 +135,19 @@ def _callable_fingerprint(fn: Callable, parts: list[str], *, depth: int = 0) -> 
             except ValueError:  # pragma: no cover - empty cell
                 parts.append("<empty-cell>")
                 continue
-            if callable(value):
-                _callable_fingerprint(value, parts, depth=depth + 1)
-            elif isinstance(value, np.ndarray):
-                parts.append(value.tobytes().hex())
-            elif isinstance(value, _ATOMIC_TYPES):
-                parts.append(repr(value))
-            else:
-                parts.append(f"<{type(value).__module__}.{type(value).__qualname__}>")
+            _value_fingerprint(value, parts, depth=depth + 1)
+
+
+def _value_fingerprint(value, parts: list[str], *, depth: int) -> None:
+    """Append a stable description of one captured/default value."""
+    if callable(value):
+        _callable_fingerprint(value, parts, depth=depth)
+    elif isinstance(value, np.ndarray):
+        parts.append(value.tobytes().hex())
+    elif _deeply_atomic(value):
+        parts.append(repr(value))  # repro-lint: disable=REP106 -- deeply-atomic values repr by value (checked above)
+    else:
+        parts.append(f"<{type(value).__module__}.{type(value).__qualname__}>")
 
 
 def spec_fingerprint(exp: "Experiment") -> str:

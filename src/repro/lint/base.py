@@ -1,0 +1,144 @@
+"""Rule plugin seam: the ``Rule`` base class, ``Finding`` record, registry.
+
+A rule is a class with a stable ``id`` (``REPnnn`` — never reused,
+never renamed: suppressions and CI history key on it), a short
+kebab-case ``name``, a ``category`` grouping it into a profile tier
+(``determinism`` / ``concurrency`` / ``hygiene``), and a ``check``
+generator yielding :class:`Finding` records for one parsed file.
+
+Rules self-register through the :func:`register` decorator; the
+registry is what ``repro lint --list-rules``, the per-path config, and
+the meta-tests enumerate.  Registration enforces the meta-contract up
+front — unique well-formed ID, docstring present — so a malformed rule
+fails at import time, not in CI archaeology later.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .context import FileContext
+
+__all__ = ["Finding", "PARSE_ERROR_ID", "Rule", "all_rules", "get_rule",
+           "register", "rule_ids"]
+
+#: Pseudo rule ID for files the linter cannot parse at all.  Not a
+#: registered rule (there is nothing to configure or suppress about a
+#: syntax error) but reported through the same Finding channel.
+PARSE_ERROR_ID = "REP000"
+
+_ID_PATTERN = re.compile(r"^REP[0-9]{3}$")
+_NAME_PATTERN = re.compile(r"^[a-z0-9]+(-[a-z0-9]+)*$")
+_CATEGORIES = ("determinism", "concurrency", "hygiene")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One lint finding, anchored to a source location.
+
+    ``suppressed`` findings (a valid inline directive names the rule on
+    that line) are excluded from the exit-code decision but still
+    counted and listed by the reporters, so CI can track the
+    suppression budget instead of letting it grow silently.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    message: str
+    suppressed: bool = False
+    suppress_reason: str = ""
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id, self.message)
+
+
+class Rule:
+    """Base class every lint rule subclasses.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``check`` receives one :class:`~repro.lint.context.FileContext` and
+    yields findings; it must be a pure function of the parsed file —
+    no filesystem writes, no cross-file state — so the runner can lint
+    files in any order with identical results.
+    """
+
+    #: Stable identifier, ``REPnnn``.  Append-only across the project's
+    #: history: retiring a rule retires its number.
+    id: str = ""
+    #: Short kebab-case label shown next to the ID in reports.
+    name: str = ""
+    #: Profile tier: determinism | concurrency | hygiene.
+    category: str = "determinism"
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by every rule --------------------------------------
+    def finding(self, ctx: "FileContext", node: ast.AST,
+                message: str) -> Finding:
+        """Build a Finding for *node*, suppression applied by the runner."""
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.id,
+            rule_name=self.name,
+            message=message,
+        )
+
+    @classmethod
+    def summary(cls) -> str:
+        """First docstring line — the ``--list-rules`` description."""
+        doc = (cls.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else ""
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (meta-checked)."""
+    if not _ID_PATTERN.match(cls.id or ""):
+        raise ValueError(f"rule {cls.__name__}: id {cls.id!r} is not REPnnn")
+    if cls.id == PARSE_ERROR_ID:
+        raise ValueError(f"rule {cls.__name__}: {PARSE_ERROR_ID} is reserved")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id} "
+                         f"({cls.__name__} vs {type(_REGISTRY[cls.id]).__name__})")
+    if not _NAME_PATTERN.match(cls.name or ""):
+        raise ValueError(f"rule {cls.id}: name {cls.name!r} is not kebab-case")
+    if not (cls.__doc__ or "").strip():
+        raise ValueError(f"rule {cls.id}: docstring required")
+    if cls.category not in _CATEGORIES:
+        raise ValueError(f"rule {cls.id}: category {cls.category!r} "
+                         f"not in {_CATEGORIES}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ID-sorted (deterministic listing order)."""
+    _ensure_loaded()
+    return tuple(_REGISTRY[rid] for rid in sorted(_REGISTRY))
+
+
+def rule_ids() -> tuple[str, ...]:
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    return _REGISTRY[rule_id]
+
+
+def _ensure_loaded() -> None:
+    """Import the rule modules (self-registration) exactly once."""
+    from . import rules  # noqa: F401  (import side effect registers rules)

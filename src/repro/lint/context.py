@@ -1,0 +1,213 @@
+"""FileContext: one parsed file plus everything rules need to judge it.
+
+Bundles the parse tree with the three resolutions every rule would
+otherwise rebuild:
+
+* **parent links** — ``ast`` gives children only; rules asking "is this
+  assignment under ``with self._lock``" or "which function am I in"
+  walk :meth:`FileContext.ancestors`.
+* **import aliases** — ``import numpy as np`` / ``from numpy.random
+  import default_rng`` are folded into :meth:`resolve_chain`, so a rule
+  matches the *module path* (``numpy.random.rand``) regardless of the
+  local spelling.
+* **inline suppressions** — ``# repro-lint: disable=REP101 -- reason``
+  on a finding's line.  The reason is mandatory policy, not decoration:
+  a directive without one is recorded as malformed and surfaces as its
+  own finding (REP303) instead of silencing anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["FileContext", "Suppression"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint\s*:\s*disable\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_,\s]+?)"
+    r"\s*(?:--\s*(?P<reason>.*\S)\s*)?$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """One parsed inline directive (valid or malformed)."""
+
+    line: int
+    ids: frozenset[str]
+    reason: str
+    malformed: str = ""  # why the directive is invalid, "" when valid
+
+    def covers(self, rule_id: str) -> bool:
+        return not self.malformed and (rule_id in self.ids or "all" in self.ids)
+
+
+class FileContext:
+    """Parsed source file handed to every rule's ``check``.
+
+    Construction never raises on bad source: ``tree`` is None and
+    ``syntax_error`` carries the message, which the runner reports as
+    the REP000 pseudo-finding.
+    """
+
+    def __init__(self, path: str | Path, source: str | None = None,
+                 display_path: str | None = None):
+        self.path = Path(path)
+        if source is None:
+            source = self.path.read_text(encoding="utf-8")
+        self.source = source
+        self.lines = source.splitlines()
+        self.display_path = display_path if display_path is not None else str(path)
+
+        self.tree: ast.Module | None = None
+        self.syntax_error: str | None = None
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, ValueError) as exc:
+            self.syntax_error = str(exc)
+
+        self._parents: dict[ast.AST, ast.AST] = {}
+        #: local name -> dotted module ("np" -> "numpy").
+        self.module_aliases: dict[str, str] = {}
+        #: local name -> dotted origin ("default_rng" -> "numpy.random.default_rng").
+        self.from_imports: dict[str, str] = {}
+        if self.tree is not None:
+            self._link_parents(self.tree)
+            self._collect_imports(self.tree)
+        self.suppressions: tuple[Suppression, ...] = tuple(
+            self._parse_directives())
+
+    # -- tree navigation ---------------------------------------------------
+    def _link_parents(self, tree: ast.AST) -> None:
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Enclosing nodes, innermost first (node itself excluded)."""
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def enclosing_function(self, node: ast.AST):
+        """Innermost FunctionDef/AsyncFunctionDef containing *node*."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        for anc in self.ancestors(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None
+
+    def walk(self) -> Iterator[ast.AST]:
+        """All nodes, or nothing when the file failed to parse."""
+        if self.tree is None:
+            return iter(())
+        return ast.walk(self.tree)
+
+    # -- import resolution -------------------------------------------------
+    def _collect_imports(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # "import a.b.c" binds "a" unless aliased.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.module_aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = f"{node.module}.{alias.name}"
+
+    def resolve_chain(self, node: ast.AST) -> str | None:
+        """Dotted module path of an attribute chain, aliases expanded.
+
+        ``np.random.rand`` (with ``import numpy as np``) resolves to
+        ``"numpy.random.rand"``; a bare from-imported ``default_rng``
+        resolves to ``"numpy.random.default_rng"``.  Chains rooted in
+        anything but a known import (``rng.random``, ``self.x``)
+        resolve to None — the rule cannot and should not guess.
+        """
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = cur.id
+        parts.reverse()
+        if root in self.module_aliases:
+            return ".".join([self.module_aliases[root], *parts])
+        if root in self.from_imports:
+            return ".".join([self.from_imports[root], *parts])
+        return None
+
+    def is_builtin_name(self, name: str) -> bool:
+        """True when *name* still refers to the builtin in this module."""
+        return name not in self.module_aliases and name not in self.from_imports
+
+    # -- inline suppressions ----------------------------------------------
+    def _comment_tokens(self) -> Iterator[tuple[int, str]]:
+        """(line, text) for every real COMMENT token.
+
+        Tokenized, not regex-scanned, so a docstring *describing* the
+        directive syntax is never mistaken for a directive.
+        """
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(self.source).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    yield tok.start[0], tok.string
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return  # unparseable file: REP000 reports it, nothing to suppress
+
+    def _parse_directives(self) -> Iterator[Suppression]:
+        for lineno, comment in self._comment_tokens():
+            if "repro-lint" not in comment:
+                continue
+            match = _DIRECTIVE.search(comment)
+            if match is None:
+                if re.search(r"#\s*repro-lint", comment):
+                    yield Suppression(
+                        line=lineno, ids=frozenset(), reason="",
+                        malformed="unparseable repro-lint directive "
+                                  "(expected '# repro-lint: disable=<ID> -- <reason>')")
+                continue
+            ids = frozenset(
+                part.strip() for part in match.group("ids").split(",")
+                if part.strip())
+            reason = (match.group("reason") or "").strip()
+            if not ids:
+                yield Suppression(line=lineno, ids=frozenset(), reason="",
+                                  malformed="directive names no rule IDs")
+            elif not reason:
+                yield Suppression(
+                    line=lineno, ids=ids, reason="",
+                    malformed="suppression requires a reason: "
+                              "'# repro-lint: disable=<ID> -- <why>'")
+            else:
+                yield Suppression(line=lineno, ids=ids, reason=reason)
+
+    def suppression_for(self, line: int, rule_id: str) -> Suppression | None:
+        """The valid directive covering *rule_id* on *line*, if any."""
+        for sup in self.suppressions:
+            if sup.line == line and sup.covers(rule_id):
+                return sup
+        return None

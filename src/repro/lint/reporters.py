@@ -1,0 +1,70 @@
+"""Text and JSON views of a LintReport.
+
+The text reporter is for humans at a terminal; the JSON reporter is
+the machine contract the ``lint-gate`` CI job and any dashboard
+consume — stable key names, sorted entries, and the suppression list
+(with reasons) included so the waiver budget is tracked, not hidden.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .base import Finding
+from .runner import LintReport
+
+__all__ = ["render_json", "render_text"]
+
+#: Bumped only when the JSON layout changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def _finding_dict(f: Finding) -> dict:
+    out = {
+        "path": f.path,
+        "line": f.line,
+        "col": f.col,
+        "rule": f.rule_id,
+        "name": f.rule_name,
+        "message": f.message,
+    }
+    if f.suppressed:
+        out["suppressed"] = True
+        out["reason"] = f.suppress_reason
+    return out
+
+
+def render_text(report: LintReport) -> str:
+    lines = []
+    for f in report.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col + 1}: "
+                     f"{f.rule_id} [{f.rule_name}] {f.message}")
+    for f in report.suppressed:
+        lines.append(f"{f.path}:{f.line}:{f.col + 1}: "
+                     f"{f.rule_id} [{f.rule_name}] suppressed: "
+                     f"{f.suppress_reason}")
+    counts = report.counts_by_rule()
+    if counts:
+        breakdown = ", ".join(f"{rid}: {n}" for rid, n in counts.items())
+        lines.append("")
+        lines.append(f"{len(report.findings)} finding(s) "
+                     f"[{breakdown}] in {report.files_scanned} file(s), "
+                     f"{len(report.suppressed)} suppressed")
+    else:
+        lines.append(f"clean: 0 findings in {report.files_scanned} file(s), "
+                     f"{len(report.suppressed)} suppressed")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_scanned": report.files_scanned,
+        "finding_count": len(report.findings),
+        "suppressed_count": len(report.suppressed),
+        "counts_by_rule": report.counts_by_rule(),
+        "findings": [_finding_dict(f) for f in report.findings],
+        "suppressed": [_finding_dict(f) for f in report.suppressed],
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

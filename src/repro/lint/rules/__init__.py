@@ -1,0 +1,18 @@
+"""Rule modules — importing this package registers every rule.
+
+Grouped by the contract they police:
+
+* :mod:`.determinism` — REP101–REP107: seeded-RNG discipline,
+  wall-clock/entropy bans, builtin ``hash()``, unsorted filesystem /
+  set iteration, raw float equality, ``repr`` inside fingerprint
+  functions, unregistered event kinds.
+* :mod:`.concurrency` — REP201: lock discipline in lock-owning classes.
+* :mod:`.hygiene` — REP301–REP303: mutable default arguments, silent
+  broad exception swallowing, malformed suppression directives.
+"""
+
+from __future__ import annotations
+
+from . import concurrency, determinism, hygiene  # noqa: F401
+
+__all__ = ["concurrency", "determinism", "hygiene"]

@@ -1,0 +1,130 @@
+"""File collection and the lint loop behind ``repro lint``.
+
+Deterministic end to end: files are gathered in sorted order, every
+rule is a pure function of one parsed file, and findings are sorted by
+(path, line, col, rule) — two runs over the same tree produce
+byte-identical reports, which is what lets CI diff them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from .base import Finding, PARSE_ERROR_ID, Rule
+from .config import profile_for_path, rules_for_profile
+from .context import FileContext
+
+__all__ = ["LintReport", "iter_python_files", "lint_file", "lint_paths"]
+
+#: Directories never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hg", ".tox", ".venv",
+                        "node_modules", ".repro-cache"})
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced.
+
+    ``findings`` are active (they fail the gate); ``suppressed`` are
+    matched by a valid inline directive and reported for budget
+    tracking only.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_scanned += other.files_scanned
+
+    def sort(self) -> None:
+        self.findings.sort(key=Finding.sort_key)
+        self.suppressed.sort(key=Finding.sort_key)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Python files under *paths*, each path's tree in sorted order.
+
+    Nonexistent paths raise FileNotFoundError — a typo'd path silently
+    linting nothing is precisely the failure mode this tool exists to
+    prevent.
+    """
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py" and path not in seen:
+                seen.add(path)
+                yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if any(part in _SKIP_DIRS for part in sub.parts):
+                    continue
+                if sub not in seen:
+                    seen.add(sub)
+                    yield sub
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+
+
+def lint_file(path: str | Path, *, rules: Sequence[Rule] | None = None,
+              profile: str | None = None,
+              source: str | None = None) -> LintReport:
+    """Lint one file under an explicit rule set or its path profile."""
+    path = Path(path)
+    if rules is None:
+        rules = rules_for_profile(profile or profile_for_path(path))
+    ctx = FileContext(path, source=source, display_path=_display(path))
+    report = LintReport(files_scanned=1)
+    if ctx.syntax_error is not None:
+        report.findings.append(Finding(
+            path=ctx.display_path, line=1, col=0,
+            rule_id=PARSE_ERROR_ID, rule_name="parse-error",
+            message=f"file does not parse: {ctx.syntax_error}"))
+        return report
+    for rule in rules:
+        for finding in rule.check(ctx):
+            sup = ctx.suppression_for(finding.line, finding.rule_id)
+            if sup is not None:
+                report.suppressed.append(Finding(
+                    path=finding.path, line=finding.line, col=finding.col,
+                    rule_id=finding.rule_id, rule_name=finding.rule_name,
+                    message=finding.message, suppressed=True,
+                    suppress_reason=sup.reason))
+            else:
+                report.findings.append(finding)
+    report.sort()
+    return report
+
+
+def lint_paths(paths: Sequence[str | Path], *,
+               rules: Sequence[Rule] | None = None,
+               profile: str | None = None) -> LintReport:
+    """Lint every Python file under *paths* (profiles per file)."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.extend(lint_file(path, rules=rules, profile=profile))
+    report.sort()
+    return report
+
+
+def _display(path: Path) -> str:
+    """Path as reported: relative to the CWD when possible."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)

@@ -55,10 +55,10 @@ def _build(spec: dict):
 
 
 def test_corpus_is_complete():
-    """Five numbered scenarios, ids matching their filenames."""
-    assert len(SCENARIOS) == 5
+    """Eight numbered scenarios, ids matching their filenames."""
+    assert len(SCENARIOS) == 8
     ids = [_load(p)["id"] for p in SCENARIOS]
-    assert ids == [1, 2, 3, 4, 5]
+    assert ids == [1, 2, 3, 4, 5, 6, 7, 8]
     for path, sid in zip(SCENARIOS, ids):
         assert path.name.startswith(f"{sid:02d}-")
 

@@ -1,0 +1,11 @@
+"""Fixture: seeded-Generator discipline — REP101 must stay silent."""
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def jitter(rng: np.random.Generator) -> float:
+    return float(rng.random())

@@ -1,0 +1,9 @@
+"""Fixture: module-level global RNG draws — REP101 must fire twice."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random() + np.random.rand()

@@ -1,0 +1,5 @@
+"""Fixture: time comes from the simulation clock — REP102 silent."""
+
+
+def advance(now: float, dt: float) -> float:
+    return now + dt

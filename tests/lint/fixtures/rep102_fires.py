@@ -1,0 +1,10 @@
+"""Fixture: wall-clock and entropy in a kernel path — REP102 fires."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp():
+    return time.time(), datetime.now(), uuid.uuid4(), os.urandom(8)

@@ -1,0 +1,18 @@
+"""Fixture: stable key-bit sharding and a __hash__ body — REP103 silent."""
+
+import zlib
+
+
+def shard_for(key: str, mask: int) -> int:
+    try:
+        return int(key[:8], 16) & mask
+    except ValueError:
+        return zlib.crc32(key.encode()) & mask
+
+
+class Point:
+    def __init__(self, x: int, y: int):
+        self.x, self.y = x, y
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))

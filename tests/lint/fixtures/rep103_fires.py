@@ -1,0 +1,5 @@
+"""Fixture: builtin hash() on a string key — REP103 must fire."""
+
+
+def shard_for(key: str, nshards: int) -> int:
+    return hash(key) % nshards

@@ -1,0 +1,23 @@
+"""Regression fixture: the PR 8 hash()-shard-scatter bug, verbatim shape.
+
+``hash(fingerprint)`` is randomized per process (PYTHONHASHSEED), so
+every pre-forked worker scattered the same fingerprint onto a
+different shard and the cross-process hit rate silently collapsed.
+REP103 must flag the ``_index`` body.
+"""
+
+import threading
+
+
+class ShardedDecisionCache:
+    def __init__(self, shards: int = 8):
+        self._dicts = [dict() for _ in range(shards)]
+        self._locks = [threading.Lock() for _ in range(shards)]
+
+    def _index(self, fingerprint: str) -> int:
+        return hash(fingerprint) % len(self._dicts)
+
+    def get(self, fingerprint: str):
+        i = self._index(fingerprint)
+        with self._locks[i]:
+            return self._dicts[i].get(fingerprint)

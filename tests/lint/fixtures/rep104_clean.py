@@ -1,0 +1,15 @@
+"""Fixture: every enumeration sorted before iteration — REP104 silent."""
+
+import os
+from pathlib import Path
+
+
+def enumerate_entries(cache_dir: Path) -> list[str]:
+    names = []
+    for path in sorted(cache_dir.glob("*.npz")):
+        names.append(path.name)
+    for name in sorted(os.listdir(cache_dir)):
+        names.append(name)
+    for tag in sorted({"b", "a"}):
+        names.append(tag)
+    return [str(p) for p in sorted(cache_dir.iterdir())]

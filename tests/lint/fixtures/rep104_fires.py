@@ -1,0 +1,15 @@
+"""Fixture: filesystem-order and set-order iteration — REP104 fires."""
+
+import os
+from pathlib import Path
+
+
+def enumerate_entries(cache_dir: Path) -> list[str]:
+    names = []
+    for path in cache_dir.glob("*.npz"):
+        names.append(path.name)
+    for name in os.listdir(cache_dir):
+        names.append(name)
+    for tag in {"b", "a"}:
+        names.append(tag)
+    return [str(p) for p in cache_dir.iterdir()]

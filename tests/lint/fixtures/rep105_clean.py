@@ -1,0 +1,19 @@
+"""Fixture: tolerance-helper comparisons and exact sentinels — silent."""
+
+ABS_TOL = 1e-9
+
+
+def boundary_tol(scale: float) -> float:
+    return ABS_TOL * (1.0 if scale == 1.5 else abs(scale))
+
+
+def at_boundary(now: float, boundary: float) -> bool:
+    return abs(now - boundary) <= boundary_tol(boundary)
+
+
+def is_unset(x: float) -> bool:
+    return x == 0.0
+
+
+def count_matches(n: int) -> bool:
+    return n == 3

@@ -1,0 +1,9 @@
+"""Fixture: raw float equality in kernel code — REP105 must fire."""
+
+
+def phase_done(now: float) -> bool:
+    return now == 1.5
+
+
+def never_half(x: float) -> bool:
+    return x != 0.25

@@ -1,0 +1,13 @@
+"""Fixture: canonical-encoding fingerprints; repr elsewhere — silent."""
+
+import hashlib
+import json
+
+
+def spec_fingerprint(spec: dict) -> str:
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def describe(spec) -> str:
+    return repr(spec)

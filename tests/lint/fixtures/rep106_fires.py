@@ -1,0 +1,5 @@
+"""Fixture: repr of arbitrary objects in a fingerprint — REP106 fires."""
+
+
+def spec_fingerprint(spec) -> str:
+    return "|".join([repr(spec), f"{spec!r}"])

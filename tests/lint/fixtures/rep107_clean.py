@@ -1,0 +1,12 @@
+"""Fixture: registered kinds, numpy's unrelated kind= kwargs — silent."""
+
+import numpy as np
+
+
+def count_arrivals(log, values: np.ndarray) -> int:
+    log.record(0.0, "arrival", 1)
+    order = np.argsort(values, kind="stable")
+    if values.dtype.kind == "f":
+        order = order[::-1]
+    done = [e for e in log if e.kind == "done"]
+    return len(log.select("arrival")) + len(done) + int(order[0])

@@ -1,0 +1,7 @@
+"""Fixture: event kinds outside the registered set — REP107 fires."""
+
+
+def count_bogus(log) -> int:
+    log.record(0.0, "not-a-kind", 1)
+    finished = [e for e in log if e.kind == "finished"]
+    return len(log.select("also-bogus")) + len(finished)

@@ -1,0 +1,23 @@
+"""Fixture: mutations under the owning lock; lock-free class — silent."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+
+    def hit(self) -> None:
+        with self._lock:
+            self._hits += 1
+
+
+class Tally:
+    """No lock, no sharing contract: free to mutate."""
+
+    def __init__(self):
+        self._count = 0
+
+    def bump(self) -> None:
+        self._count += 1

@@ -1,0 +1,14 @@
+"""Fixture: guarded state mutated outside the lock — REP201 fires."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._entries = {}
+
+    def hit(self, key: str) -> None:
+        self._hits += 1
+        self._entries[key] = True

@@ -1,0 +1,8 @@
+"""Fixture: None defaults built in the body — REP301 silent."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,11 @@
+"""Fixture: mutable default arguments — REP301 fires on both."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(item, *, seen=set()):
+    seen.add(item)
+    return seen

@@ -1,0 +1,16 @@
+"""Fixture: narrow swallow, broad-but-handled — REP302 silent."""
+
+
+def unlink_best_effort(path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def load(path, errors: list) -> str:
+    try:
+        return path.read_text()
+    except Exception as exc:
+        errors.append(str(exc))
+        return ""

@@ -1,0 +1,13 @@
+"""Fixture: broad exception handlers that swallow — REP302 fires."""
+
+
+def load(path) -> str:
+    try:
+        return path.read_text()
+    except Exception:
+        pass
+    try:
+        return path.read_bytes().decode()
+    except:  # noqa: E722
+        ...
+    return ""

@@ -1,0 +1,12 @@
+"""Fixture: suppression directives missing reasons / naming unknown
+rules — REP303 fires on both directives."""
+
+import zlib
+
+
+def shard(key: str) -> int:
+    return zlib.crc32(key.encode()) & 7  # repro-lint: disable=REP103
+
+
+def other(key: str) -> int:
+    return len(key)  # repro-lint: disable=REP999 -- no such rule

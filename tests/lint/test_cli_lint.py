@@ -1,0 +1,72 @@
+"""CLI surface of the linter: ``repro lint`` verb, formats, exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import rule_ids
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_list_rules_names_every_rule(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in rule_ids():
+        assert rule_id in out
+    for profile in ("strict", "default", "relaxed"):
+        assert f"profile {profile}:" in out
+
+
+def test_firing_fixture_exits_1(capsys):
+    rc = main(["lint", "--profile", "strict",
+               str(FIXTURES / "rep103_fires.py")])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "REP103" in out
+    assert "unstable-hash" in out
+
+
+def test_clean_fixture_exits_0(capsys):
+    rc = main(["lint", "--profile", "strict",
+               str(FIXTURES / "rep103_clean.py")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "clean: 0 findings" in out
+
+
+def test_json_format_is_machine_readable(capsys):
+    rc = main(["lint", "--format", "json", "--profile", "strict",
+               str(FIXTURES / "rep101_fires.py")])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["ok"] is False
+    assert payload["counts_by_rule"].get("REP101", 0) >= 2
+    assert all(f["rule"].startswith("REP") for f in payload["findings"])
+
+
+def test_suppressions_counted_in_json(capsys):
+    rc = main(["lint", "--format", "json", "--profile", "strict",
+               str(FIXTURES / "rep303_clean.py")])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["suppressed_count"] == 1
+    assert payload["suppressed"][0]["rule"] == "REP103"
+    assert payload["suppressed"][0]["reason"]
+
+
+def test_missing_path_exits_2(capsys):
+    rc = main(["lint", "does/not/exist"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "does not exist" in err
+
+
+def test_lint_directory_scans_recursively(capsys):
+    rc = main(["lint", "--format", "json", "--profile", "strict",
+               str(FIXTURES)])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1  # the firing fixtures fire
+    assert payload["files_scanned"] == len(list(FIXTURES.glob("*.py")))

@@ -1,0 +1,207 @@
+"""Unit tests for the lint machinery itself: context, config, runner,
+suppressions, reporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    FileContext,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    profile_for_path,
+    render_json,
+    render_text,
+    rules_for_path,
+)
+from repro.lint.base import PARSE_ERROR_ID
+from repro.lint.config import PROFILES
+from repro.lint.rules.determinism import _registered_event_kinds
+
+
+class TestFileContext:
+    def test_parent_links_and_enclosing(self):
+        ctx = FileContext("mem.py", source=(
+            "class C:\n"
+            "    def m(self):\n"
+            "        return hash('x')\n"))
+        import ast
+        call = next(n for n in ctx.walk() if isinstance(n, ast.Call))
+        assert ctx.enclosing_function(call).name == "m"
+        assert ctx.enclosing_class(call).name == "C"
+
+    def test_import_alias_resolution(self):
+        ctx = FileContext("mem.py", source=(
+            "import numpy as np\n"
+            "import numpy.random as npr\n"
+            "from numpy.random import default_rng\n"
+            "x = np.random.rand()\n"))
+        import ast
+        call = next(n for n in ctx.walk() if isinstance(n, ast.Call))
+        assert ctx.resolve_chain(call.func) == "numpy.random.rand"
+        assert ctx.module_aliases["npr"] == "numpy.random"
+        assert ctx.from_imports["default_rng"] == "numpy.random.default_rng"
+
+    def test_builtin_shadowing_detected(self):
+        ctx = FileContext("mem.py", source="from mymod import hash\n")
+        assert not ctx.is_builtin_name("hash")
+        assert ctx.is_builtin_name("repr")
+
+    def test_syntax_error_is_reported_not_raised(self):
+        report = lint_file("broken.py", source="def f(:\n", profile="strict")
+        assert len(report.findings) == 1
+        assert report.findings[0].rule_id == PARSE_ERROR_ID
+
+
+class TestSuppressions:
+    def test_valid_directive_suppresses_and_is_counted(self):
+        source = "k = hash('x')  # repro-lint: disable=REP103 -- key never crosses processes\n"
+        report = lint_file("mem.py", source=source, profile="strict")
+        assert not [f for f in report.findings if f.rule_id == "REP103"]
+        assert len(report.suppressed) == 1
+        sup = report.suppressed[0]
+        assert sup.rule_id == "REP103"
+        assert sup.suppress_reason == "key never crosses processes"
+
+    def test_reason_is_mandatory(self):
+        source = "k = hash('x')  # repro-lint: disable=REP103\n"
+        report = lint_file("mem.py", source=source, profile="strict")
+        ids = {f.rule_id for f in report.findings}
+        assert "REP103" in ids  # nothing was silenced
+        assert "REP303" in ids  # and the malformed directive is flagged
+
+    def test_unknown_rule_id_flagged(self):
+        source = "x = 1  # repro-lint: disable=REP999 -- typo'd id\n"
+        report = lint_file("mem.py", source=source, profile="strict")
+        assert [f for f in report.findings if f.rule_id == "REP303"]
+
+    def test_directive_only_covers_its_line(self):
+        source = ("a = hash('x')  # repro-lint: disable=REP103 -- only this line\n"
+                  "b = hash('y')\n")
+        report = lint_file("mem.py", source=source, profile="strict")
+        active = [f for f in report.findings if f.rule_id == "REP103"]
+        assert len(active) == 1 and active[0].line == 2
+
+    def test_docstring_mention_is_not_a_directive(self):
+        source = ('"""Docs show `# repro-lint: disable=<ID> -- <reason>`."""\n'
+                  "x = 1\n")
+        report = lint_file("mem.py", source=source, profile="strict")
+        assert not report.findings
+        assert not report.suppressed
+
+    def test_multiple_ids_one_directive(self):
+        source = ("import random\n"
+                  "x = random.random() == 1.5  "
+                  "# repro-lint: disable=REP101,REP105 -- fixture exercising multi-id\n")
+        report = lint_file("mem.py", source=source, profile="strict")
+        assert not report.findings
+        assert {f.rule_id for f in report.suppressed} == {"REP101", "REP105"}
+
+
+class TestConfig:
+    @pytest.mark.parametrize("path,profile", [
+        ("src/repro/core/schedule.py", "strict"),
+        ("src/repro/simulate/kernel.py", "strict"),
+        ("src/repro/chaos/faults.py", "strict"),
+        ("src/repro/cache/memory.py", "strict"),
+        ("src/repro/online/engine.py", "strict"),
+        ("src/repro/service/core.py", "default"),
+        ("src/repro/experiments/engine.py", "default"),
+        ("src/repro/cli.py", "default"),
+        ("src/repro/viz/ascii_plot.py", "relaxed"),
+        ("benchmarks/bench_service.py", "relaxed"),
+        ("tests/core/test_batch.py", "relaxed"),
+        ("/abs/checkout/src/repro/cache/disk.py", "strict"),
+    ])
+    def test_profile_mapping(self, path, profile):
+        assert profile_for_path(path) == profile
+
+    def test_relaxed_is_hygiene_only(self):
+        ids = {r.id for r in rules_for_path("benchmarks/bench_x.py")}
+        assert ids == set(PROFILES["relaxed"])
+
+    def test_strict_is_everything(self):
+        from repro.lint import all_rules
+
+        ids = {r.id for r in rules_for_path("src/repro/core/x.py")}
+        assert ids == {r.id for r in all_rules()}
+
+    def test_wall_clock_not_policed_outside_kernel_paths(self):
+        source = "import time\nt = time.time()\n"
+        strict = lint_file("src/repro/core/x.py", source=source,
+                           profile="strict")
+        default = lint_file("src/repro/service/x.py", source=source,
+                            profile="default")
+        assert [f for f in strict.findings if f.rule_id == "REP102"]
+        assert not [f for f in default.findings if f.rule_id == "REP102"]
+
+
+class TestRunner:
+    def test_iter_python_files_sorted_and_deduped(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "c.py").write_text("x = 1\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        files = list(iter_python_files([tmp_path, tmp_path / "a.py"]))
+        names = [f.name for f in files]
+        assert names == ["a.py", "b.py", "c.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([tmp_path / "nope"]))
+
+    def test_lint_paths_deterministic(self, tmp_path):
+        (tmp_path / "a.py").write_text("k = hash('x')\n")
+        (tmp_path / "b.py").write_text("import random\nr = random.random()\n")
+        one = lint_paths([tmp_path], profile="strict")
+        two = lint_paths([tmp_path], profile="strict")
+        assert [f.sort_key() for f in one.findings] \
+            == [f.sort_key() for f in two.findings]
+        assert one.files_scanned == 2
+
+
+class TestReporters:
+    def _report(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            "k = hash('x')\n"
+            "j = hash('y')  # repro-lint: disable=REP103 -- waived for the test\n")
+        return lint_paths([tmp_path], profile="strict")
+
+    def test_text_report(self, tmp_path):
+        text = render_text(self._report(tmp_path))
+        assert "REP103" in text
+        assert "suppressed: waived for the test" in text
+        assert "1 finding(s)" in text
+
+    def test_json_report_contract(self, tmp_path):
+        payload = json.loads(render_json(self._report(tmp_path)))
+        assert payload["schema_version"] == 1
+        assert payload["finding_count"] == 1
+        assert payload["suppressed_count"] == 1
+        assert payload["counts_by_rule"] == {"REP103": 1}
+        assert payload["ok"] is False
+        sup = payload["suppressed"][0]
+        assert sup["rule"] == "REP103"
+        assert sup["reason"] == "waived for the test"
+        active = payload["findings"][0]
+        assert set(active) >= {"path", "line", "col", "rule", "name", "message"}
+
+    def test_clean_json_is_ok(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        payload = json.loads(render_json(lint_paths([tmp_path],
+                                                    profile="strict")))
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+
+class TestEventKindSync:
+    def test_rule_set_matches_kernel(self):
+        from repro.simulate.kernel import EVENT_KINDS
+
+        assert _registered_event_kinds() == frozenset(EVENT_KINDS)

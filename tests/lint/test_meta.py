@@ -1,0 +1,99 @@
+"""Meta-contract of the rule registry and its fixture corpus.
+
+Every registered rule must carry a stable well-formed ID, a docstring
+explaining the bug class, and a fixture corpus proving it both fires
+and stays silent — including the PR 8 ``hash()``-shard-scatter
+regression fixture.  A rule that cannot demonstrate itself is a rule
+nobody can trust in CI.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, lint_file, rule_ids
+from repro.lint.base import PARSE_ERROR_ID
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: The committed rule inventory.  Append-only: retiring a rule retires
+#: its number; renumbering would orphan every suppression in history.
+EXPECTED_RULE_IDS = (
+    "REP101", "REP102", "REP103", "REP104", "REP105", "REP106", "REP107",
+    "REP201",
+    "REP301", "REP302", "REP303",
+)
+
+
+def _lint_strict(path: Path):
+    return lint_file(path, profile="strict")
+
+
+def test_rule_inventory_is_stable():
+    assert rule_ids() == EXPECTED_RULE_IDS
+
+
+def test_every_rule_well_formed():
+    for rule in all_rules():
+        assert re.fullmatch(r"REP[0-9]{3}", rule.id), rule
+        assert rule.id != PARSE_ERROR_ID
+        assert re.fullmatch(r"[a-z0-9]+(-[a-z0-9]+)*", rule.name), rule.id
+        assert rule.category in ("determinism", "concurrency", "hygiene")
+        assert (type(rule).__doc__ or "").strip(), f"{rule.id} lacks a docstring"
+        assert rule.summary(), f"{rule.id} lacks a summary line"
+
+
+@pytest.mark.parametrize("rule_id", EXPECTED_RULE_IDS)
+def test_rule_has_firing_fixture(rule_id):
+    fires = sorted(FIXTURES.glob(f"{rule_id.lower()}_fires*.py"))
+    assert fires, f"{rule_id}: no firing fixture in {FIXTURES}"
+    for path in fires:
+        report = _lint_strict(path)
+        hits = [f for f in report.findings if f.rule_id == rule_id]
+        assert hits, f"{rule_id} did not fire on its fixture {path.name}"
+
+
+@pytest.mark.parametrize("rule_id", EXPECTED_RULE_IDS)
+def test_rule_has_clean_fixture(rule_id):
+    clean = sorted(FIXTURES.glob(f"{rule_id.lower()}_clean*.py"))
+    assert clean, f"{rule_id}: no non-firing fixture in {FIXTURES}"
+    for path in clean:
+        report = _lint_strict(path)
+        hits = [f for f in report.findings if f.rule_id == rule_id]
+        assert not hits, (
+            f"{rule_id} fired on its clean fixture {path.name}: {hits}")
+
+
+def test_hash_shard_scatter_regression_fixture():
+    """The PR 8 bug shape stays detectable: hash(fingerprint) % shards."""
+    path = FIXTURES / "rep103_fires_shard_scatter.py"
+    assert path.is_file()
+    report = _lint_strict(path)
+    hits = [f for f in report.findings if f.rule_id == "REP103"]
+    assert hits, "shard-scatter regression fixture no longer detected"
+    assert any("hash()" in f.message for f in hits)
+
+
+def test_fixture_corpus_has_no_strays():
+    """Every fixture file belongs to a registered rule."""
+    for path in sorted(FIXTURES.glob("*.py")):
+        stem = path.stem
+        assert re.match(r"rep[0-9]{3}_(fires|clean)", stem), path.name
+        rule_id = stem[:6].upper()
+        assert rule_id in EXPECTED_RULE_IDS, (
+            f"fixture {path.name} names unregistered rule {rule_id}")
+
+
+def test_firing_fixture_messages_name_the_rule():
+    """Findings carry the rule name so reports are self-explanatory."""
+    for rule in all_rules():
+        fires = sorted(FIXTURES.glob(f"{rule.id.lower()}_fires*.py"))
+        for path in fires:
+            for f in _lint_strict(path).findings:
+                if f.rule_id == rule.id:
+                    assert f.rule_name == rule.name
+                    assert f.message
+                    assert f.line >= 1
